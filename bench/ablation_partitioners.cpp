@@ -1,0 +1,85 @@
+// Ablation — partitioner quality vs cost on the CHARMM geometry.
+//
+// BLOCK ignores space; RCB and RIB cut space (RIB along inertial axes);
+// the chain partitioner cuts a 1-D ordering. This harness reports, for the
+// 14026-atom system at P=32: weighted load balance, the fraction of
+// non-bonded pairs cut (a communication-volume proxy), and the modeled
+// partitioning time — the triangle the paper navigates in §4.
+#include <iostream>
+#include <numeric>
+
+#include "apps/charmm/neighbor.hpp"
+#include "apps/charmm/system.hpp"
+#include "bench_common.hpp"
+#include "core/chaos.hpp"
+#include "core/parallel_partition.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chaos;
+  using core::GlobalIndex;
+  const bench::Options opt = bench::Options::parse(argc, argv);
+
+  const auto params = opt.quick ? charmm::SystemParams::small(1500)
+                                : charmm::SystemParams{};
+  const int P = 32;
+  auto sys = charmm::MolecularSystem::generate(params);
+  const GlobalIndex n = static_cast<GlobalIndex>(sys.size());
+
+  // Per-atom weights and the pair structure, from a sequential list build.
+  std::vector<GlobalIndex> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), GlobalIndex{0});
+  auto list = charmm::build_nonbonded_list(sys.pos, rows, params.cutoff,
+                                           params.box, nullptr, sys.bonds);
+  std::vector<double> weights(static_cast<size_t>(n));
+  for (std::size_t r = 0; r < weights.size(); ++r)
+    weights[r] =
+        2.0 + static_cast<double>(list.inblo[r + 1] - list.inblo[r]);
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+  pairs.reserve(list.pairs());
+  for (std::size_t r = 0; r + 1 < list.inblo.size(); ++r)
+    for (GlobalIndex at = list.inblo[r]; at < list.inblo[r + 1]; ++at)
+      pairs.emplace_back(static_cast<std::int64_t>(r),
+                         list.jnb[static_cast<size_t>(at)]);
+
+  Table t("Ablation: partitioner quality vs cost, CHARMM geometry, P=32");
+  t.header({"Partitioner", "Load balance", "Pairs cut %", "Modeled time (s)"});
+
+  for (auto kind :
+       {core::PartitionerKind::kBlock, core::PartitionerKind::kRcb,
+        core::PartitionerKind::kRib, core::PartitionerKind::kChain}) {
+    double elapsed = 0;
+    std::vector<int> map;
+    sim::Machine machine(P);
+    machine.run([&](sim::Comm& comm) {
+      // Contribute a BLOCK slice each, as a driver would.
+      part::BlockLayout slabs(n, P);
+      std::vector<GlobalIndex> ids;
+      std::vector<part::Point3> pts;
+      std::vector<double> w;
+      for (GlobalIndex g = slabs.first(comm.rank());
+           g < slabs.first(comm.rank()) + slabs.size_of(comm.rank()); ++g) {
+        ids.push_back(g);
+        pts.push_back(sys.pos[static_cast<size_t>(g)]);
+        w.push_back(weights[static_cast<size_t>(g)]);
+      }
+      const double t0 = comm.now();
+      auto m = core::parallel_partition(comm, kind, ids, pts, w, n);
+      if (comm.rank() == 0) {
+        elapsed = comm.now() - t0;
+        map = std::move(m);
+      }
+    });
+    const double lb = part::partition_load_balance(map, weights, P);
+    const double cut = 100.0 *
+                       static_cast<double>(part::cut_edges(map, pairs)) /
+                       static_cast<double>(pairs.size());
+    t.row({core::partitioner_name(kind), Table::num(lb, 3),
+           Table::num(cut, 1), Table::num(elapsed, 3)});
+  }
+  t.print();
+  std::cout << "\nBLOCK is free but cuts the most pairs; RCB/RIB buy low\n"
+               "cut ratios at a cost that grows with P; the chain\n"
+               "partitioner is nearly free with intermediate quality —\n"
+               "why DSMC remaps with it (Table 5).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation — replicated vs paged (distributed) translation tables.
+//
+// The paper (§3.1) offers both storage schemes: replicated tables answer
+// lookups locally but cost O(N) memory per processor; paged tables cost
+// O(N/P) memory but lookups communicate. This harness measures both sides
+// of the trade at several machine sizes.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/chaos.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chaos;
+  using core::GlobalIndex;
+  const bench::Options opt = bench::Options::parse(argc, argv);
+
+  const GlobalIndex n = opt.quick ? 20000 : 200000;
+  const std::size_t queries = opt.quick ? 5000 : 40000;
+
+  Table t("Ablation: translation table storage (modeled ms per lookup "
+          "batch, entries per rank)");
+  t.header({"P", "Replicated ms", "Repl entries/rank", "Paged ms",
+            "Paged entries/rank"});
+
+  for (int P : {4, 16, 64}) {
+    double repl_ms = 0, paged_ms = 0;
+    sim::Machine machine(P);
+    machine.run([&](sim::Comm& comm) {
+      Rng map_rng(3);
+      std::vector<int> map(static_cast<size_t>(n));
+      for (auto& p : map) p = static_cast<int>(map_rng.below(P));
+      auto repl = core::TranslationTable::from_full_map(comm, map);
+      part::BlockLayout pages(n, P);
+      std::vector<int> slice(
+          map.begin() + pages.first(comm.rank()),
+          map.begin() + pages.first(comm.rank()) + pages.size_of(comm.rank()));
+      auto paged = core::TranslationTable::build_distributed(comm, slice);
+
+      Rng rng(5 + static_cast<std::uint64_t>(comm.rank()));
+      std::vector<GlobalIndex> q(queries);
+      for (auto& g : q)
+        g = static_cast<GlobalIndex>(rng.below(static_cast<std::uint64_t>(n)));
+
+      comm.barrier();
+      double t0 = comm.now();
+      auto h1 = repl.lookup(comm, q);
+      const double dt_repl = comm.now() - t0;
+      comm.barrier();
+      t0 = comm.now();
+      auto h2 = paged.lookup(comm, q);
+      const double dt_paged = comm.now() - t0;
+      CHAOS_CHECK(h1.size() == h2.size());
+      for (std::size_t i = 0; i < h1.size(); ++i)
+        CHAOS_CHECK(h1[i] == h2[i], "tables disagree");
+      if (comm.rank() == 0) {
+        repl_ms = dt_repl * 1e3;
+        paged_ms = dt_paged * 1e3;
+      }
+    });
+    t.row({std::to_string(P), Table::num(repl_ms, 2), std::to_string(n),
+           Table::num(paged_ms, 2),
+           std::to_string(n / P)});
+  }
+  t.print();
+  std::cout << "\nReplicated tables answer locally; paged tables trade a\n"
+               "P-fold memory saving for one query/reply round per batch.\n";
+  return 0;
+}

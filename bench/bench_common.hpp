@@ -1,0 +1,41 @@
+// Shared helpers for the table-reproduction benchmark harnesses.
+//
+// Every bench binary regenerates one table of the paper on the simulated
+// iPSC/860 (sim::Machine) and prints the paper's published numbers next to
+// the modeled measurements. Absolute agreement is not the goal (our
+// substrate is a calibrated simulator, not the authors' testbed); the
+// qualitative shape — who wins, how costs scale with P, where crossovers
+// happen — is. See EXPERIMENTS.md for the recorded comparison.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace chaos::bench {
+
+struct Options {
+  /// Shrink workloads for smoke runs (`--quick`).
+  bool quick = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
+    return o;
+  }
+};
+
+/// Render a row of doubles with a label.
+inline std::vector<std::string> num_row(const std::string& label,
+                                        const std::vector<double>& values,
+                                        int precision = 2) {
+  std::vector<std::string> row{label};
+  for (double v : values) row.push_back(Table::num(v, precision));
+  return row;
+}
+
+}  // namespace chaos::bench

@@ -1,0 +1,65 @@
+// Figure 6 — Schedule generation with the hash table (paper §3.2.2).
+//
+// Reproduces the paper's worked example exactly: data array y of 10
+// elements split between two processors; processor 0 hashes the three
+// indirection arrays ia, ib, ic and builds sched_A, sched_B, the
+// incremental schedule inc_schedB = B - A, and the merged schedule
+// A + B + C. Prints the elements each schedule gathers, which must match
+// the figure (1-based): sched_A -> {7,9}, sched_B -> {7,8},
+// inc_schedB -> {8}, merged -> {7,9,8,10}.
+#include <iostream>
+#include <sstream>
+
+#include "core/chaos.hpp"
+
+int main() {
+  using namespace chaos;
+  using core::GlobalIndex;
+
+  sim::Machine machine(2);
+  machine.run([](sim::Comm& comm) {
+    // Distribution from the figure: elements 1..5 on processor 0, 6..10 on
+    // processor 1 (we use 0-based indices internally).
+    std::vector<int> map{0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+    auto table = core::TranslationTable::from_full_map(comm, map);
+    core::IndexHashTable hash(table.owned_count(comm.rank()));
+
+    std::vector<GlobalIndex> ia, ib, ic;
+    if (comm.rank() == 0) {
+      ia = {0, 2, 6, 8, 1};  // paper (1-based): 1,3,7,9,2
+      ib = {0, 4, 6, 7, 1};  // paper: 1,5,7,8,2
+      ic = {3, 2, 9, 7, 8};  // paper: 4,3,10,8,9
+    }
+    const core::Stamp a = hash.hash(comm, table, ia);
+    const core::Stamp b = hash.hash(comm, table, ib);
+    const core::Stamp c = hash.hash(comm, table, ic);
+
+    auto describe = [&](const char* name, core::StampExpr expr) {
+      core::Schedule s = core::build_schedule(comm, hash, expr);
+      if (comm.rank() != 1) return;  // rank 1 owns the fetched elements
+      std::ostringstream os;
+      os << "  " << name << " gathers elements {";
+      bool first = true;
+      for (const auto& blk : s.send_blocks())
+        for (GlobalIndex off : blk.indices) {
+          os << (first ? "" : ", ") << (off + 5 + 1);  // back to 1-based
+          first = false;
+        }
+      os << "}";
+      std::cout << os.str() << "\n";
+    };
+
+    if (comm.rank() == 0)
+      std::cout << "\n== Figure 6: schedule generation with the hash table =="
+                << "\n  processor 0 hashed ia, ib, ic; expected fetch sets: "
+                   "sched_A {7, 9}, sched_B {7, 8}, inc_schedB {8}, "
+                   "merged {7, 9, 8, 10}\n";
+    comm.barrier();
+    describe("sched_A       (stamp a)  ", core::StampExpr::only(a));
+    describe("sched_B       (stamp b)  ", core::StampExpr::only(b));
+    describe("inc_schedB    (b - a)    ", core::StampExpr::incremental(b, a));
+    describe("merged_ABC    (a + b + c)", core::StampExpr::merged({a, b, c}));
+  });
+  std::cout.flush();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 3 — Schedule Merging vs Multiple Schedules (paper §4.1.1).
+//
+// Same CHARMM workload; compares communication and execution time when the
+// bonded and non-bonded loops share one merged gather/scatter schedule
+// versus building and executing separate schedules per loop (duplicated
+// fetches of shared off-processor atoms).
+#include <iostream>
+
+#include "charmm_cycle.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chaos;
+  using namespace chaos::bench;
+  const Options opt = Options::parse(argc, argv);
+
+  charmm::ParallelCharmmConfig cfg;
+  cfg.partitioner = core::PartitionerKind::kRcb;
+  cfg.run.nb_rebuild_every = 25;
+  if (opt.quick) cfg.system = charmm::SystemParams::small(600);
+
+  const std::vector<int> procs =
+      opt.quick ? std::vector<int>{2, 4} : std::vector<int>{16, 32, 64, 128};
+  const int real_steps = opt.quick ? 6 : 26;
+
+  std::vector<double> merged_comm, merged_exec, multi_comm, multi_exec;
+  for (int P : procs) {
+    std::cerr << "table3: running P=" << P << " (merged)...\n";
+    cfg.merged_schedules = true;
+    auto merged = run_charmm_cycle(P, cfg, real_steps, 1000, 40);
+    std::cerr << "table3: running P=" << P << " (multiple)...\n";
+    cfg.merged_schedules = false;
+    auto multi = run_charmm_cycle(P, cfg, real_steps, 1000, 40);
+    merged_comm.push_back(merged.communication);
+    merged_exec.push_back(merged.execution);
+    multi_comm.push_back(multi.communication);
+    multi_exec.push_back(multi.execution);
+  }
+
+  Table t("Table 3: Schedule Merging vs Multiple Schedules (modeled seconds)");
+  std::vector<std::string> head{"Metric"};
+  for (int P : procs) head.push_back("P=" + std::to_string(P));
+  t.header(head);
+  if (!opt.quick) {
+    t.row(num_row("Merged Comm (paper)", {147.1, 159.8, 181.1, 219.2}, 1));
+  }
+  t.row(num_row("Merged Comm (measured)", merged_comm, 1));
+  if (!opt.quick) {
+    t.row(num_row("Merged Exec (paper)", {4356.0, 2293.8, 1261.4, 781.8}, 1));
+  }
+  t.row(num_row("Merged Exec (measured)", merged_exec, 1));
+  if (!opt.quick) {
+    t.row(num_row("Multiple Comm (paper)", {182.1, 201.0, 223.2, 253.1}, 1));
+  }
+  t.row(num_row("Multiple Comm (measured)", multi_comm, 1));
+  if (!opt.quick) {
+    t.row(num_row("Multiple Exec (paper)", {4427.5, 2364.2, 1291.9, 815.2}, 1));
+  }
+  t.row(num_row("Multiple Exec (measured)", multi_exec, 1));
+  t.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Example: a CHARMM-like molecular dynamics run on the CHAOS++ runtime
+// (the paper's first motivating application, §2.1/§4.1).
+//
+// Simulates a small synthetic molecular system for a few hundred steps with
+// periodic non-bonded list regeneration, printing the per-phase costs the
+// runtime spends — the same breakdown as the paper's Table 2 — and the
+// final load balance.
+//
+// Run: ./molecular_dynamics [ranks] [atoms]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/charmm/parallel.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chaos;
+
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::size_t atoms = argc > 2
+                                ? static_cast<std::size_t>(std::atol(argv[2]))
+                                : 2000;
+
+  charmm::ParallelCharmmConfig cfg;
+  cfg.system = charmm::SystemParams::small(atoms, /*seed=*/2024);
+  cfg.run.steps = 60;
+  cfg.run.nb_rebuild_every = 20;
+  cfg.partitioner = core::PartitionerKind::kRcb;
+  cfg.merged_schedules = true;
+
+  std::cout << "molecular_dynamics: " << atoms << " atoms, " << ranks
+            << " ranks, " << cfg.run.steps << " steps, non-bonded list "
+            << "regenerated every " << cfg.run.nb_rebuild_every << " steps\n";
+
+  sim::Machine machine(ranks);
+  auto r = charmm::run_parallel_charmm(machine, cfg);
+
+  Table t("Runtime phase breakdown (modeled seconds, max over ranks)");
+  t.header({"Phase", "Time"});
+  t.row({"Data partition (RCB)", Table::num(r.phases.data_partition, 4)});
+  t.row({"Remap + iteration preprocessing",
+         Table::num(r.phases.remap_preproc, 4)});
+  t.row({"Non-bonded list updates", Table::num(r.phases.nb_list, 4)});
+  t.row({"Schedule generation", Table::num(r.phases.schedule_gen, 4)});
+  t.row({"Schedule regeneration", Table::num(r.phases.schedule_regen, 4)});
+  t.row({"Executor (gather/compute/scatter)",
+         Table::num(r.phases.executor, 4)});
+  t.print();
+
+  std::cout << "\n  execution time   " << Table::num(r.execution_time, 4)
+            << " s (modeled)\n  computation      "
+            << Table::num(r.computation_time, 4)
+            << " s (mean)\n  communication    "
+            << Table::num(r.communication_time, 4)
+            << " s (mean)\n  load balance     "
+            << Table::num(r.load_balance, 3) << " (1.0 = perfect)\n"
+            << "  list updates     " << r.phases.nb_rebuilds << "\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Quickstart: the paper's Figure 1 irregular loop, parallelized end to end
+// with the CHAOS++ runtime.
+//
+//   do i = 1, n
+//     x(ia(i)) = x(ia(i)) + y(ib(i))
+//   end do
+//
+// Walks the six runtime phases: partition the data (irregularly), build the
+// translation table, localize the indirection arrays through the inspector
+// hash table, build one communication schedule, then run the executor —
+// gather y ghosts, compute, scatter-add x contributions back.
+//
+// Run: ./quickstart
+#include <iostream>
+#include <numeric>
+
+#include "core/chaos.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace chaos;
+  using core::GlobalIndex;
+
+  constexpr int kRanks = 4;
+  constexpr GlobalIndex kN = 24;       // global array size
+  constexpr std::size_t kIters = 12;   // loop iterations per rank
+
+  sim::Machine machine(kRanks);
+  machine.run([&](sim::Comm& comm) {
+    // Phase A: an irregular distribution (here: a simple scattered map any
+    // partitioner could have produced).
+    std::vector<int> map(kN);
+    for (GlobalIndex g = 0; g < kN; ++g)
+      map[static_cast<size_t>(g)] = static_cast<int>((g * 7 + 3) % kRanks);
+    auto table = core::TranslationTable::from_full_map(comm, map);
+    auto mine = table.owned_globals(comm.rank());
+
+    // Local pieces of x and y: x starts at 0, y(g) = g.
+    // (Phase B, remapping from an earlier distribution, is skipped — the
+    // arrays are initialized directly in place.)
+    const GlobalIndex owned = table.owned_count(comm.rank());
+
+    // Phases C/D are trivial here: each rank executes its own iterations.
+    // The iteration's references: x(ia(i)) += y(ib(i)).
+    Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<GlobalIndex> ia(kIters), ib(kIters);
+    for (std::size_t i = 0; i < kIters; ++i) {
+      ia[i] = static_cast<GlobalIndex>(rng.below(kN));
+      ib[i] = static_cast<GlobalIndex>(rng.below(kN));
+    }
+    std::vector<GlobalIndex> ia_orig = ia, ib_orig = ib;
+
+    // Phase E, the inspector: hash both indirection arrays (translating
+    // them to local indices in place), then build one merged schedule that
+    // serves both the gather of y and the scatter of x.
+    core::IndexHashTable hash(owned);
+    const core::Stamp sa = hash.hash(comm, table, ia);
+    const core::Stamp sb = hash.hash(comm, table, ib);
+    core::Schedule sched =
+        core::build_schedule(comm, hash, core::StampExpr::merged({sa, sb}));
+
+    std::vector<double> x(static_cast<size_t>(hash.local_extent()), 0.0);
+    std::vector<double> y(static_cast<size_t>(hash.local_extent()), 0.0);
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      y[k] = static_cast<double>(mine[k]);
+
+    // Phase F, the executor: gather ghosts, run the loop on local indices,
+    // scatter-add the off-processor accumulations home.
+    core::gather<double>(comm, sched, y);
+    for (std::size_t i = 0; i < kIters; ++i)
+      x[static_cast<size_t>(ia[i])] += y[static_cast<size_t>(ib[i])];
+    core::scatter_add<double>(comm, sched, x);
+
+    // Report: reconstruct the global x on rank 0 and verify against a
+    // sequential evaluation of everyone's iterations.
+    std::vector<double> x_owned(x.begin(),
+                                x.begin() + static_cast<std::ptrdiff_t>(owned));
+    auto all_x = comm.allgatherv<double>(x_owned);
+    auto all_ia = comm.allgatherv<GlobalIndex>(ia_orig);
+    auto all_ib = comm.allgatherv<GlobalIndex>(ib_orig);
+    if (comm.rank() == 0) {
+      std::vector<double> expect(kN, 0.0);
+      for (std::size_t i = 0; i < all_ia.size(); ++i)
+        expect[static_cast<size_t>(all_ia[i])] +=
+            static_cast<double>(all_ib[i]);
+      // all_x is concatenated by rank in offset order; rebuild global order.
+      std::vector<double> got(kN, 0.0);
+      std::size_t at = 0;
+      for (int r = 0; r < kRanks; ++r)
+        for (GlobalIndex g = 0; g < kN; ++g)
+          if (map[static_cast<size_t>(g)] == r)
+            got[static_cast<size_t>(g)] = all_x[at++];
+      bool ok = true;
+      for (GlobalIndex g = 0; g < kN; ++g) {
+        if (got[static_cast<size_t>(g)] != expect[static_cast<size_t>(g)])
+          ok = false;
+      }
+      std::cout << "quickstart: irregular loop over " << kN << " elements, "
+                << kRanks << " ranks, " << kRanks * kIters << " iterations\n"
+                << "  merged schedule fetched "
+                << sched.recv_total(0) << " ghost element(s) on rank 0\n"
+                << "  result " << (ok ? "MATCHES" : "DOES NOT MATCH")
+                << " the sequential evaluation\n";
+    }
+  });
+  std::cout << "quickstart: modeled execution time "
+            << machine.execution_time() * 1e3 << " ms on " << kRanks
+            << " simulated iPSC/860 nodes\n";
+  return 0;
+}

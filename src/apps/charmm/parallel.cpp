@@ -1,0 +1,538 @@
+#include "apps/charmm/parallel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/charmm/forces.hpp"
+#include "core/chaos.hpp"
+#include "lang/distribution.hpp"
+#include "lang/inspector_cache.hpp"
+
+namespace chaos::charmm {
+
+namespace {
+
+using core::GlobalIndex;
+using core::IndexHashTable;
+using core::Schedule;
+using core::Stamp;
+using core::StampExpr;
+using core::TranslationTable;
+
+/// Record exchanged when re-assembling global geometry.
+struct AtomRecord {
+  GlobalIndex id;
+  part::Point3 pos;
+};
+
+struct StateRecord {
+  GlobalIndex id;
+  part::Point3 pos;
+  part::Vec3 force;
+};
+
+/// Mechanical overheads of compiler-generated code relative to the
+/// hand-written CHAOS calls, as measured by the paper's Table 6: the
+/// generated inspector re-derives alignment and bounds (~10%), the remap
+/// code moves a compiler-managed descriptor alongside each array (~6%), and
+/// generated loop bodies carry extra address arithmetic (~0.5%).
+constexpr double kCompilerPartitionOverhead = 0.03;
+constexpr double kCompilerRemapOverhead = 0.06;
+constexpr double kCompilerInspectorOverhead = 0.10;
+constexpr double kCompilerExecutorOverhead = 0.005;
+
+class Driver {
+ public:
+  Driver(sim::Comm& comm, const ParallelCharmmConfig& cfg,
+         std::vector<CharmmPhaseTimes>& phase_out,
+         ParallelCharmmResult& shared)
+      : comm_(comm),
+        cfg_(cfg),
+        phase_out_(phase_out),
+        shared_(shared),
+        sys_(MolecularSystem::generate(cfg.system)),
+        n_(static_cast<GlobalIndex>(sys_.size())) {}
+
+  void run() {
+    // Initial BLOCK distribution of all atom-aligned arrays.
+    {
+      std::vector<int> map = core::parallel_partition(
+          comm_, core::PartitionerKind::kBlock, {}, {}, {}, n_);
+      tt_ = std::make_unique<TranslationTable>(
+          TranslationTable::from_full_map(comm_, map));
+      my_globals_ = tt_->owned_globals(comm_.rank());
+      pos_.resize(my_globals_.size());
+      vel_.resize(my_globals_.size());
+      for (std::size_t i = 0; i < my_globals_.size(); ++i) {
+        pos_[i] = sys_.pos[static_cast<size_t>(my_globals_[i])];
+        vel_[i] = sys_.vel[static_cast<size_t>(my_globals_[i])];
+      }
+      if (cfg_.compiler_generated) rebuild_lang_distribution(map);
+    }
+
+    // Bootstrap: a first partition from the density estimate yields the
+    // first non-bonded list, whose row lengths are the true per-atom loads;
+    // the production partition then balances on those (the paper's RCB/RIB
+    // "consider computational weights", §4.1, giving its LB <= 1.08) and
+    // remaps the list with the atoms. Reported phase times cover the
+    // production sequence only.
+    partition_and_remap(cfg_.partitioner, /*remap_list=*/false);
+    rebuild_nb_list();
+    t_ = CharmmPhaseTimes{};
+
+    // The production distribution regenerates the list (the paper's
+    // "non-bonded list generation" row of Table 2).
+    partition_and_remap(cfg_.partitioner, /*remap_list=*/false);
+    rebuild_nb_list();
+    build_schedules(/*regen=*/false);
+
+    int repartitions = 0;
+    for (int step = 0; step < cfg_.run.steps; ++step) {
+      const bool repartition_due =
+          cfg_.repartition_every > 0 && step > 0 &&
+          step % cfg_.repartition_every == 0;
+      const bool rebuild_due = !repartition_due && step > 0 &&
+                               step % cfg_.run.nb_rebuild_every == 0;
+
+      if (repartition_due) {
+        ++repartitions;
+        core::PartitionerKind kind = cfg_.partitioner;
+        if (cfg_.alternate_partitioners && repartitions % 2 == 1)
+          kind = core::PartitionerKind::kRib;
+        // The list is remapped along with the atoms (Phase D), so only the
+        // schedules need regenerating afterwards.
+        partition_and_remap(kind, /*remap_list=*/true);
+        build_schedules(/*regen=*/false);
+      } else if (rebuild_due) {
+        rebuild_nb_list();
+        build_schedules(/*regen=*/true);
+      }
+
+      executor_step();
+    }
+
+    phase_out_[static_cast<size_t>(comm_.rank())] = t_;
+    if (cfg_.collect_state) collect_state();
+  }
+
+ private:
+  template <typename Fn>
+  void timed(double CharmmPhaseTimes::*slot, Fn&& fn) {
+    // Synchronize phase entry so each bucket measures its own phase rather
+    // than absorbing the previous phase's load imbalance as wait time.
+    comm_.barrier();
+    const double t0 = comm_.now();
+    fn();
+    t_.*slot += comm_.now() - t0;
+  }
+
+  /// Like timed(), but in compiler-generated mode additionally charges the
+  /// mechanical overhead of generated code, inside the phase bucket.
+  template <typename Fn>
+  void timed_with_overhead(double CharmmPhaseTimes::*slot, double factor,
+                           Fn&& fn) {
+    comm_.barrier();
+    const double t0 = comm_.now();
+    fn();
+    charge_overhead(comm_.now() - t0, factor);
+    t_.*slot += comm_.now() - t0;
+  }
+
+  /// Charge the mechanical overhead of compiler-generated code for a phase
+  /// that just took `seconds` of virtual time.
+  void charge_overhead(double seconds, double factor) {
+    if (cfg_.compiler_generated && seconds > 0)
+      comm_.charge_compute_seconds(seconds * factor);
+  }
+
+  void rebuild_lang_distribution(const std::vector<int>& map) {
+    dist_ = std::make_unique<lang::Distribution>(
+        lang::Distribution::irregular(comm_, map));
+  }
+
+  /// Assemble all current positions in global-id order (the replicated
+  /// geometry both the partitioner and the list builder consume).
+  std::vector<part::Point3> gather_all_positions() {
+    std::vector<AtomRecord> mine(my_globals_.size());
+    for (std::size_t i = 0; i < my_globals_.size(); ++i)
+      mine[i] = AtomRecord{my_globals_[i], pos_[i]};
+    std::vector<AtomRecord> all = comm_.allgatherv<AtomRecord>(mine);
+    std::vector<part::Point3> full(static_cast<size_t>(n_));
+    for (const AtomRecord& r : all)
+      full[static_cast<size_t>(r.id)] = r.pos;
+    return full;
+  }
+
+  /// `remap_list` selects Phase D for the non-bonded list: mid-run
+  /// redistributions move the list with its atoms (paper §5.3.1 flow);
+  /// the initial distribution regenerates it instead (paper §4.1.1: "this
+  /// regeneration was performed because atoms were redistributed").
+  void partition_and_remap(core::PartitionerKind kind, bool remap_list) {
+    std::vector<int> map;
+    std::unique_ptr<TranslationTable> new_tt;
+    timed_with_overhead(
+        &CharmmPhaseTimes::data_partition, kCompilerPartitionOverhead, [&] {
+          // Weights: the per-atom computational load is dominated by the
+          // non-bonded partner count (paper §4.1 Data Partitioning). Before
+          // any list exists, a local-density estimate stands in.
+          std::vector<double> weights;
+          if (!nb_.inblo.empty()) {
+            weights.assign(my_globals_.size(), 1.0);
+            for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r)
+              weights[r] = 2.0 + static_cast<double>(nb_.inblo[r + 1] -
+                                                     nb_.inblo[r]);
+          } else {
+            std::vector<part::Point3> full = gather_all_positions();
+            weights = estimate_atom_load(full, my_globals_,
+                                         cfg_.system.cutoff, cfg_.system.box);
+            comm_.charge_work(static_cast<double>(my_globals_.size()) * 10.0);
+          }
+          std::vector<part::Point3> points(
+              pos_.begin(),
+              pos_.begin() + static_cast<std::ptrdiff_t>(my_globals_.size()));
+          map = core::parallel_partition(comm_, kind, my_globals_, points,
+                                         weights, n_);
+          new_tt = std::make_unique<TranslationTable>(
+              TranslationTable::from_full_map(comm_, map));
+        });
+
+    timed_with_overhead(
+        &CharmmPhaseTimes::remap_preproc, kCompilerRemapOverhead, [&] {
+          Schedule remap =
+              core::build_remap_schedule(comm_, my_globals_, *new_tt);
+          const GlobalIndex new_owned = new_tt->owned_count(comm_.rank());
+          std::vector<part::Point3> new_pos(static_cast<size_t>(new_owned));
+          std::vector<part::Vec3> new_vel(static_cast<size_t>(new_owned));
+          core::transport<part::Point3>(comm_, remap,
+                                        {pos_.data(), my_globals_.size()},
+                                        {new_pos.data(), new_pos.size()});
+          core::transport<part::Vec3>(comm_, remap,
+                                      {vel_.data(), my_globals_.size()},
+                                      {new_vel.data(), new_vel.size()});
+
+          // Phase D, iteration remapping: each atom's non-bonded list row
+          // (a variable-length iteration record) travels to the atom's new
+          // owner, so the list is *moved*, not rebuilt (paper §4.1,
+          // "indirection arrays remapping").
+          NonbondedList moved;
+          if (remap_list && !nb_.inblo.empty()) {
+            std::vector<std::vector<GlobalIndex>> streams(
+                static_cast<size_t>(comm_.size()));
+            double words = 0;
+            for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r) {
+              const GlobalIndex atom = my_globals_[r];
+              const int dest = new_tt->lookup_local(atom).proc;
+              auto& s = streams[static_cast<size_t>(dest)];
+              s.push_back(atom);
+              s.push_back(nb_.inblo[r + 1] - nb_.inblo[r]);
+              for (GlobalIndex at = nb_.inblo[r]; at < nb_.inblo[r + 1]; ++at)
+                s.push_back(nb_.jnb[static_cast<size_t>(at)]);
+              words += 2.0 + static_cast<double>(nb_.inblo[r + 1] -
+                                                 nb_.inblo[r]);
+            }
+            comm_.charge_work(words * core::costs::kPackWord);
+            std::vector<std::vector<GlobalIndex>> in = comm_.alltoallv(streams);
+
+            // Reassemble rows in the new owned order.
+            std::vector<std::pair<GlobalIndex, std::vector<GlobalIndex>>> rows;
+            for (auto& stream : in) {
+              std::size_t at = 0;
+              while (at < stream.size()) {
+                const GlobalIndex atom = stream[at++];
+                const GlobalIndex len = stream[at++];
+                std::vector<GlobalIndex> partners(
+                    stream.begin() + static_cast<std::ptrdiff_t>(at),
+                    stream.begin() + static_cast<std::ptrdiff_t>(at) +
+                        static_cast<std::ptrdiff_t>(len));
+                at += static_cast<std::size_t>(len);
+                rows.emplace_back(atom, std::move(partners));
+              }
+            }
+            std::sort(rows.begin(), rows.end(),
+                      [&](const auto& a, const auto& b) {
+                        return new_tt->lookup_local(a.first).offset <
+                               new_tt->lookup_local(b.first).offset;
+                      });
+            moved.inblo.push_back(0);
+            for (auto& [atom, partners] : rows) {
+              moved.jnb.insert(moved.jnb.end(), partners.begin(),
+                               partners.end());
+              moved.inblo.push_back(
+                  static_cast<GlobalIndex>(moved.jnb.size()));
+            }
+            CHAOS_CHECK(moved.rows() ==
+                            static_cast<std::size_t>(new_owned),
+                        "remapped list must cover every owned atom");
+          }
+
+          pos_ = std::move(new_pos);
+          vel_ = std::move(new_vel);
+          tt_ = std::move(new_tt);
+          my_globals_ = tt_->owned_globals(comm_.rank());
+          nb_ = std::move(moved);
+
+          // Iteration partitioning for the bonded loop (Phases C+D):
+          // topology is replicated, so the assignment (majority owner; for
+          // two references, the first one's owner) is computed locally.
+          my_bonds_.clear();
+          for (const auto& [i, j] : sys_.bonds) {
+            if (tt_->lookup_local(i).proc == comm_.rank())
+              my_bonds_.emplace_back(i, j);
+          }
+          comm_.charge_work(static_cast<double>(sys_.bonds.size()) * 2.0);
+        });
+
+    // Distribution changed: previous inspector state is invalid (the
+    // remapped list survives; schedules must be regenerated).
+    hash_.reset();
+    if (cfg_.compiler_generated) rebuild_lang_distribution(map);
+  }
+
+  void rebuild_nb_list() {
+    timed(&CharmmPhaseTimes::nb_list, [&] {
+      std::vector<part::Point3> full = gather_all_positions();
+      NeighborBuildStats stats;
+      nb_ = build_nonbonded_list(full, my_globals_, cfg_.system.cutoff,
+                                 cfg_.system.box, &stats, sys_.bonds);
+      comm_.charge_work(static_cast<double>(stats.candidates_examined) *
+                        kWorkPerPairCheck);
+      ++t_.nb_rebuilds;
+    });
+  }
+
+  void build_schedules(bool regen) {
+    if (cfg_.compiler_generated) {
+      build_schedules_compiler(regen);
+      return;
+    }
+    timed(regen ? &CharmmPhaseTimes::schedule_regen
+                : &CharmmPhaseTimes::schedule_gen,
+          [&] {
+            if (!hash_) {
+              // Fresh distribution epoch: hash the (static) bonded refs
+              // first, then the non-bonded list.
+              hash_ = std::make_unique<IndexHashTable>(
+                  tt_->owned_count(comm_.rank()));
+              bond_refs_.clear();
+              bond_refs_.reserve(my_bonds_.size() * 2);
+              for (const auto& [i, j] : my_bonds_) {
+                bond_refs_.push_back(i);
+                bond_refs_.push_back(j);
+              }
+              stamp_bond_ = hash_->hash(comm_, *tt_, bond_refs_);
+              sched_bond_ = core::build_schedule(comm_, *hash_,
+                                                 StampExpr::only(stamp_bond_));
+            } else if (regen) {
+              // Adaptive path: recycle the non-bonded stamp; unchanged
+              // entries are hash hits and skip translation (paper §3.2.2).
+              hash_->clear_stamp(stamp_nb_);
+            }
+            jnb_local_ = nb_.jnb;
+            stamp_nb_ = hash_->hash(comm_, *tt_, jnb_local_);
+
+            if (cfg_.merged_schedules) {
+              sched_all_ = core::build_schedule(
+                  comm_, *hash_, StampExpr::merged({stamp_bond_, stamp_nb_}));
+            } else {
+              sched_nb_ = core::build_schedule(comm_, *hash_,
+                                               StampExpr::only(stamp_nb_));
+              // Disjoint complement used for the scatter direction so
+              // overlapping ghost contributions are delivered exactly once.
+              sched_nb_excl_ = core::build_schedule(
+                  comm_, *hash_, StampExpr::incremental(stamp_nb_, stamp_bond_));
+            }
+            extent_ = hash_->local_extent();
+            pos_.resize(static_cast<size_t>(extent_));
+            force_.assign(static_cast<size_t>(extent_), part::Vec3{});
+          });
+  }
+
+  /// Compiler-generated preprocessing: both loops run through the
+  /// lang::InspectorCache, whose modification records decide reuse. The
+  /// records change when we assign new contents to the IndirectionArrays.
+  void build_schedules_compiler(bool regen) {
+    timed(regen ? &CharmmPhaseTimes::schedule_regen
+                : &CharmmPhaseTimes::schedule_gen,
+          [&] {
+            const double t0 = comm_.now();
+            if (!cache_ || !regen) {
+              cache_ = std::make_unique<lang::InspectorCache>();
+              std::vector<GlobalIndex> brefs;
+              brefs.reserve(my_bonds_.size() * 2);
+              for (const auto& [i, j] : my_bonds_) {
+                brefs.push_back(i);
+                brefs.push_back(j);
+              }
+              bond_ind_.assign(std::move(brefs));
+            }
+            jnb_ind_.assign(std::vector<GlobalIndex>(nb_.jnb.begin(),
+                                                     nb_.jnb.end()));
+            const lang::LoopPlan& pb = cache_->plan(comm_, *dist_, bond_ind_);
+            const lang::LoopPlan& pn = cache_->plan(comm_, *dist_, jnb_ind_);
+            bond_refs_ = pb.local_refs;
+            jnb_local_ = pn.local_refs;
+            sched_bond_ = pb.schedule;
+            sched_nb_ = pn.schedule;
+            // Disjoint scatter complement, built from the shared table.
+            sched_nb_excl_ = core::build_schedule(
+                comm_, *cache_->hash_table(),
+                StampExpr::incremental(pn.stamp, pb.stamp));
+            extent_ = std::max(pb.local_extent, pn.local_extent);
+            pos_.resize(static_cast<size_t>(extent_));
+            force_.assign(static_cast<size_t>(extent_), part::Vec3{});
+            charge_overhead(comm_.now() - t0, kCompilerInspectorOverhead);
+          });
+  }
+
+  void executor_step() {
+    timed(&CharmmPhaseTimes::executor, [&] {
+      const double t0 = comm_.now();
+      if (cfg_.compiler_generated) {
+        // Generated guard before every irregular loop execution: check the
+        // modification records (a global agreement).
+        (void)cache_->plan(comm_, *dist_, bond_ind_);
+        (void)cache_->plan(comm_, *dist_, jnb_ind_);
+      }
+
+      std::span<part::Point3> pos{pos_.data(), pos_.size()};
+      std::span<part::Vec3> force{force_.data(), force_.size()};
+      if (cfg_.merged_schedules && !cfg_.compiler_generated) {
+        core::gather<part::Point3>(comm_, sched_all_, pos);
+      } else {
+        core::gather<part::Point3>(comm_, sched_bond_, pos);
+        core::gather<part::Point3>(comm_, sched_nb_, pos);
+      }
+
+      std::fill(force_.begin(), force_.end(), part::Vec3{});
+
+      // Bonded loop (Figure 10 shape, localized indices).
+      const double box = cfg_.system.box;
+      for (std::size_t b = 0; b + 1 < bond_refs_.size(); b += 2) {
+        const GlobalIndex li = bond_refs_[b];
+        const GlobalIndex lj = bond_refs_[b + 1];
+        const part::Vec3 f =
+            bond_force(pos_[static_cast<size_t>(li)],
+                       pos_[static_cast<size_t>(lj)], box);
+        force_[static_cast<size_t>(li)] =
+            force_[static_cast<size_t>(li)] + f;
+        force_[static_cast<size_t>(lj)] =
+            force_[static_cast<size_t>(lj)] - f;
+      }
+      comm_.charge_work(static_cast<double>(my_bonds_.size()) * kWorkPerBond);
+
+      // Non-bonded loop: outer iteration r is the owned atom at offset r.
+      for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r) {
+        for (GlobalIndex at = nb_.inblo[r]; at < nb_.inblo[r + 1]; ++at) {
+          const GlobalIndex lj = jnb_local_[static_cast<size_t>(at)];
+          const part::Vec3 f =
+              nonbonded_force(pos_[r], pos_[static_cast<size_t>(lj)],
+                              cfg_.system.cutoff, box);
+          force_[r] = force_[r] + f;
+          force_[static_cast<size_t>(lj)] =
+              force_[static_cast<size_t>(lj)] - f;
+        }
+      }
+      comm_.charge_work(static_cast<double>(nb_.pairs()) * kWorkPerNonbonded);
+
+      if (cfg_.merged_schedules && !cfg_.compiler_generated) {
+        core::scatter_add<part::Vec3>(comm_, sched_all_, force);
+      } else {
+        core::scatter_add<part::Vec3>(comm_, sched_bond_, force);
+        core::scatter_add<part::Vec3>(comm_, sched_nb_excl_, force);
+      }
+
+      // Integrate owned atoms.
+      const double dt = cfg_.run.dt;
+      for (std::size_t r = 0; r < my_globals_.size(); ++r) {
+        vel_[r] = vel_[r] + force_[r] * dt;
+        pos_[r] = pos_[r] + vel_[r] * dt;
+        for (int a = 0; a < 3; ++a) {
+          while (pos_[r][a] >= box) pos_[r][a] -= box;
+          while (pos_[r][a] < 0) pos_[r][a] += box;
+        }
+      }
+      comm_.charge_work(static_cast<double>(my_globals_.size()) *
+                        kWorkPerIntegrate);
+      charge_overhead(comm_.now() - t0, kCompilerExecutorOverhead);
+    });
+  }
+
+  void collect_state() {
+    std::vector<StateRecord> mine(my_globals_.size());
+    for (std::size_t i = 0; i < my_globals_.size(); ++i)
+      mine[i] = StateRecord{my_globals_[i], pos_[i], force_[i]};
+    std::vector<StateRecord> all = comm_.allgatherv<StateRecord>(mine);
+    if (comm_.rank() == 0) {
+      shared_.pos.resize(static_cast<size_t>(n_));
+      shared_.force.resize(static_cast<size_t>(n_));
+      for (const StateRecord& r : all) {
+        shared_.pos[static_cast<size_t>(r.id)] = r.pos;
+        shared_.force[static_cast<size_t>(r.id)] = r.force;
+      }
+    }
+  }
+
+  sim::Comm& comm_;
+  const ParallelCharmmConfig& cfg_;
+  std::vector<CharmmPhaseTimes>& phase_out_;
+  ParallelCharmmResult& shared_;
+
+  MolecularSystem sys_;
+  GlobalIndex n_;
+  std::unique_ptr<TranslationTable> tt_;
+  std::vector<GlobalIndex> my_globals_;
+  std::vector<part::Point3> pos_;  // owned + ghost
+  std::vector<part::Vec3> vel_;    // owned only
+  std::vector<part::Vec3> force_;  // owned + ghost
+  std::vector<std::pair<GlobalIndex, GlobalIndex>> my_bonds_;
+
+  NonbondedList nb_;                       // rows = my_globals_
+  std::unique_ptr<IndexHashTable> hash_;   // hand path
+  std::vector<GlobalIndex> bond_refs_;     // localized (ib,jb) pairs
+  std::vector<GlobalIndex> jnb_local_;     // localized partners
+  Stamp stamp_bond_ = 0, stamp_nb_ = 0;
+  Schedule sched_all_, sched_bond_, sched_nb_, sched_nb_excl_;
+  GlobalIndex extent_ = 0;
+
+  // Compiler-generated path.
+  std::unique_ptr<lang::Distribution> dist_;
+  std::unique_ptr<lang::InspectorCache> cache_;
+  lang::IndirectionArray bond_ind_, jnb_ind_;
+
+  CharmmPhaseTimes t_;
+};
+
+}  // namespace
+
+ParallelCharmmResult run_parallel_charmm(sim::Machine& machine,
+                                         const ParallelCharmmConfig& cfg) {
+  ParallelCharmmResult result;
+  std::vector<CharmmPhaseTimes> phases(
+      static_cast<size_t>(machine.size()));
+  machine.run([&](sim::Comm& comm) {
+    Driver d(comm, cfg, phases, result);
+    d.run();
+  });
+
+  for (const CharmmPhaseTimes& p : phases) {
+    result.phases.data_partition =
+        std::max(result.phases.data_partition, p.data_partition);
+    result.phases.nb_list = std::max(result.phases.nb_list, p.nb_list);
+    result.phases.remap_preproc =
+        std::max(result.phases.remap_preproc, p.remap_preproc);
+    result.phases.schedule_gen =
+        std::max(result.phases.schedule_gen, p.schedule_gen);
+    result.phases.schedule_regen =
+        std::max(result.phases.schedule_regen, p.schedule_regen);
+    result.phases.executor = std::max(result.phases.executor, p.executor);
+    result.phases.nb_rebuilds = std::max(result.phases.nb_rebuilds,
+                                         p.nb_rebuilds);
+  }
+  result.execution_time = machine.execution_time();
+  result.computation_time = machine.mean_compute_time();
+  result.communication_time = machine.mean_comm_time();
+  result.load_balance = machine.load_balance();
+  return result;
+}
+
+}  // namespace chaos::charmm

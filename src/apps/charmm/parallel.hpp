@@ -1,0 +1,69 @@
+// CHAOS-parallel driver for the mini-CHARMM molecular dynamics simulation
+// (paper §4.1): all six runtime phases, hash-table schedule reuse across
+// non-bonded list regenerations, merged vs multiple schedules, and an
+// optional "compiler-generated" mode that routes the adaptive loop through
+// the lang:: inspector cache (paper §5.3.1, Table 6).
+#pragma once
+
+#include "apps/charmm/sequential.hpp"
+#include "apps/charmm/system.hpp"
+#include "core/parallel_partition.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::charmm {
+
+struct ParallelCharmmConfig {
+  SystemParams system;
+  SequentialRunConfig run;  ///< steps / rebuild period / dt
+  core::PartitionerKind partitioner = core::PartitionerKind::kRcb;
+
+  /// Table 3 toggle: one merged gather/scatter schedule for the bonded and
+  /// non-bonded loops vs separate per-loop schedules.
+  bool merged_schedules = true;
+
+  /// Table 6 mode: re-partition + remap every k steps (0 = partition once),
+  /// alternating RCB and RIB as the paper does.
+  int repartition_every = 0;
+  bool alternate_partitioners = false;
+
+  /// Route the adaptive non-bonded loop through the compiler-generated path
+  /// (lang::InspectorCache with modification-record checks) and charge the
+  /// mechanical overheads of generated code. See DESIGN.md §2.
+  bool compiler_generated = false;
+
+  /// Collect final global positions/forces into the result (tests only;
+  /// costs an allgather outside the timed region).
+  bool collect_state = false;
+};
+
+/// Per-rank virtual-time spent in each phase; the bench tables report the
+/// max over ranks, like the paper.
+struct CharmmPhaseTimes {
+  double data_partition = 0;
+  double nb_list = 0;        ///< initial build + periodic updates
+  double remap_preproc = 0;  ///< data/iteration remap ("Remapping and Preproc")
+  double schedule_gen = 0;   ///< first inspector run
+  double schedule_regen = 0; ///< inspector re-runs after list updates
+  double executor = 0;       ///< gather + compute + scatter + integrate
+  int nb_rebuilds = 0;
+};
+
+struct ParallelCharmmResult {
+  /// Max-over-ranks phase times (paper's Table 2 convention).
+  CharmmPhaseTimes phases;
+  /// Machine-level metrics (paper's Table 1): all in virtual seconds.
+  double execution_time = 0;
+  double computation_time = 0;
+  double communication_time = 0;
+  double load_balance = 0;
+  /// Global state in global-id order (only when collect_state).
+  std::vector<part::Point3> pos;
+  std::vector<part::Vec3> force;
+};
+
+/// Runs the full parallel simulation on the given machine. The machine's
+/// stats reflect only this run afterwards.
+ParallelCharmmResult run_parallel_charmm(sim::Machine& machine,
+                                         const ParallelCharmmConfig& cfg);
+
+}  // namespace chaos::charmm

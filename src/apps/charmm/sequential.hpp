@@ -1,0 +1,31 @@
+// Sequential reference driver for the mini-CHARMM simulation. Used as
+// ground truth by the parallel-driver tests and as the one-processor
+// baseline of Table 1.
+#pragma once
+
+#include "apps/charmm/neighbor.hpp"
+#include "apps/charmm/system.hpp"
+
+namespace chaos::charmm {
+
+struct SequentialRunConfig {
+  int steps = 10;
+  int nb_rebuild_every = 5;  ///< regenerate the non-bonded list every k steps
+  double dt = 0.002;
+};
+
+/// Result of a sequential run: final state plus the work-unit total, from
+/// which the paper's one-processor execution time is modeled.
+struct SequentialResult {
+  std::vector<part::Point3> pos;
+  std::vector<part::Vec3> vel;
+  std::vector<part::Vec3> force;  ///< forces of the last evaluated step
+  double work_units = 0.0;
+  std::size_t nb_pairs = 0;  ///< pairs in the last non-bonded list
+  int nb_rebuilds = 0;
+};
+
+SequentialResult run_sequential_charmm(const MolecularSystem& system,
+                                       const SequentialRunConfig& cfg);
+
+}  // namespace chaos::charmm

@@ -1,0 +1,80 @@
+#include "apps/charmm/system.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace chaos::charmm {
+
+MolecularSystem MolecularSystem::generate(const SystemParams& p) {
+  CHAOS_CHECK(p.n_atoms >= 3, "system needs at least one molecule");
+  CHAOS_CHECK(p.box > 2.0 * p.cutoff / 2.0, "box too small for the cutoff");
+
+  MolecularSystem sys;
+  sys.params = p;
+  sys.pos.reserve(p.n_atoms);
+  sys.vel.reserve(p.n_atoms);
+  Rng rng(p.seed);
+
+  const std::size_t n_protein =
+      static_cast<std::size_t>(static_cast<double>(p.n_atoms) *
+                               p.protein_fraction);
+
+  // Protein-like cluster: a compact Gaussian blob in the box centre with a
+  // chain topology, mimicking a folded macromolecule. Like real CHARMM
+  // bonded terms (bonds, angles, dihedrals), each chain atom interacts with
+  // its 1-2, 1-3 and 1-4 neighbours — these are also the standard
+  // non-bonded exclusions.
+  const double centre = p.box / 2.0;
+  const double blob_sigma = p.box * 0.10;
+  for (std::size_t i = 0; i < n_protein; ++i) {
+    part::Point3 x{centre + rng.normal() * blob_sigma,
+                   centre + rng.normal() * blob_sigma,
+                   centre + rng.normal() * blob_sigma};
+    // Clamp into the box (the blob tail must not wrap).
+    for (int a = 0; a < 3; ++a)
+      x[a] = std::min(std::max(x[a], 0.01), p.box - 0.01);
+    sys.pos.push_back(x);
+    for (std::size_t back = 1; back <= 3 && back <= i; ++back)
+      sys.bonds.emplace_back(static_cast<GlobalIndex>(i - back),
+                             static_cast<GlobalIndex>(i));
+  }
+
+  // Water-like bath: rigid-ish 3-atom molecules (O at a uniform position,
+  // two H ~1 Å away), bonds O-H and O-H.
+  while (sys.pos.size() + 3 <= p.n_atoms) {
+    const GlobalIndex o = static_cast<GlobalIndex>(sys.pos.size());
+    part::Point3 xo{rng.uniform(0.0, p.box), rng.uniform(0.0, p.box),
+                    rng.uniform(0.0, p.box)};
+    sys.pos.push_back(xo);
+    for (int h = 0; h < 2; ++h) {
+      part::Point3 xh = xo;
+      // Random unit-ish offset of ~1 Å.
+      part::Vec3 d{rng.normal(), rng.normal(), rng.normal()};
+      const double n = d.norm();
+      if (n > 1e-12) d = d * (1.0 / n);
+      xh = xh + d * 0.96;
+      for (int a = 0; a < 3; ++a)
+        xh[a] = std::min(std::max(xh[a], 0.0), p.box - 1e-9);
+      sys.pos.push_back(xh);
+      sys.bonds.emplace_back(o, o + 1 + h);
+    }
+    // The H-H angle term of the water molecule.
+    sys.bonds.emplace_back(o + 1, o + 2);
+  }
+  // Pad any remainder with free atoms so n_atoms is met exactly.
+  while (sys.pos.size() < p.n_atoms) {
+    sys.pos.push_back(part::Point3{rng.uniform(0.0, p.box),
+                                   rng.uniform(0.0, p.box),
+                                   rng.uniform(0.0, p.box)});
+  }
+
+  // Small thermal velocities.
+  for (std::size_t i = 0; i < sys.pos.size(); ++i)
+    sys.vel.push_back(part::Vec3{rng.normal() * 0.02, rng.normal() * 0.02,
+                                 rng.normal() * 0.02});
+  return sys;
+}
+
+}  // namespace chaos::charmm

@@ -1,0 +1,350 @@
+#include "apps/dsmc/parallel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/chaos.hpp"
+#include "lang/distribution.hpp"
+#include "lang/forall.hpp"
+
+namespace chaos::dsmc {
+
+namespace {
+
+using core::GlobalIndex;
+using core::IndexHashTable;
+using core::LightweightSchedule;
+using core::Schedule;
+using core::StampExpr;
+using core::TranslationTable;
+
+/// Copy-in/copy-out overhead of compiler-generated FORALL loops relative to
+/// the hand-written collision/update code (the Fortran D FORALL semantics
+/// materialize loop temporaries; paper §5.2 and Table 7's total-time gap).
+constexpr double kCompilerForallOverhead = 0.55;
+
+class Driver {
+ public:
+  Driver(sim::Comm& comm, const ParallelDsmcConfig& cfg,
+         std::vector<DsmcPhaseTimes>& phase_out, ParallelDsmcResult& shared)
+      : comm_(comm),
+        cfg_(cfg),
+        p_(cfg.params),
+        phase_out_(phase_out),
+        shared_(shared) {}
+
+  void run() {
+    initialize();
+    for (int step = 0; step < cfg_.steps; ++step) {
+      collide_phase(step);
+      move_phase();
+      if (cfg_.remap_every > 0 && step > 0 && step % cfg_.remap_every == 0)
+        remap_phase();
+    }
+    const long long local = collisions_;
+    const long long total = comm_.allreduce_sum(local);
+    phase_out_[static_cast<size_t>(comm_.rank())] = t_;
+    if (comm_.rank() == 0) shared_.collisions = total;
+    if (cfg_.collect_state) collect_state();
+  }
+
+ private:
+  template <typename Fn>
+  void timed(double DsmcPhaseTimes::*slot, Fn&& fn) {
+    const double t0 = comm_.now();
+    fn();
+    t_.*slot += comm_.now() - t0;
+  }
+
+  void initialize() {
+    // Everyone generates the full particle set deterministically ("input
+    // file"), then keeps the particles of its own cells. The initial
+    // partition balances the initial per-cell loads with even x-slabs
+    // (chain partition of the initial counts), the same starting point for
+    // every configuration.
+    std::vector<Particle> all = generate_particles(p_);
+    std::vector<double> counts(static_cast<size_t>(p_.n_cells()), 0.0);
+    for (const Particle& q : all)
+      counts[static_cast<size_t>(cell_of(p_, q))] += 1.0;
+    std::vector<double> chain_counts(counts.size());
+    for (GlobalIndex c = 0; c < p_.n_cells(); ++c)
+      chain_counts[static_cast<size_t>(chain_position(p_, c))] =
+          counts[static_cast<size_t>(c)];
+    const std::vector<std::size_t> bounds =
+        part::chain_partition(chain_counts, comm_.size());
+    std::vector<int> map(static_cast<size_t>(p_.n_cells()), 0);
+    for (int r = 0; r < comm_.size(); ++r)
+      for (std::size_t pos = bounds[static_cast<size_t>(r)];
+           pos < bounds[static_cast<size_t>(r) + 1]; ++pos)
+        map[static_cast<size_t>(cell_at_chain_position(
+            p_, static_cast<GlobalIndex>(pos)))] = r;
+    adopt_map(std::move(map));
+
+    mine_.clear();
+    for (const Particle& q : all)
+      if (cell_map_[static_cast<size_t>(cell_of(p_, q))] == comm_.rank())
+        mine_.push_back(q);
+  }
+
+  /// Install a new cell->processor map and rebuild everything derived.
+  void adopt_map(std::vector<int> map) {
+    cell_map_ = std::move(map);
+    my_cells_.clear();
+    cell_slot_.assign(cell_map_.size(), -1);
+    for (GlobalIndex c = 0; c < p_.n_cells(); ++c) {
+      if (cell_map_[static_cast<size_t>(c)] == comm_.rank()) {
+        cell_slot_[static_cast<size_t>(c)] =
+            static_cast<std::int32_t>(my_cells_.size());
+        my_cells_.push_back(c);
+      }
+    }
+    if (cfg_.migration == MigrationMode::kRegular || cfg_.compiler_generated)
+      dist_ = std::make_unique<lang::Distribution>(
+          lang::Distribution::irregular(comm_, cell_map_));
+    if (cfg_.migration == MigrationMode::kRegular) {
+      // The regular-schedule path translates through a non-replicated
+      // (paged) translation table, whose lookups communicate — the cost the
+      // paper calls out for index analysis with distributed tables
+      // (§3.2.2).
+      part::BlockLayout pages(p_.n_cells(), comm_.size());
+      std::vector<int> slice(
+          cell_map_.begin() + pages.first(comm_.rank()),
+          cell_map_.begin() + pages.first(comm_.rank()) +
+              pages.size_of(comm_.rank()));
+      dist_tt_ = std::make_unique<TranslationTable>(
+          TranslationTable::build_distributed(comm_, slice));
+    }
+  }
+
+  void collide_phase(int step) {
+    timed(&DsmcPhaseTimes::collide, [&] {
+      const double t0 = comm_.now();
+      buckets_.assign(my_cells_.size(), {});
+      for (Particle& q : mine_) {
+        const GlobalIndex c = cell_of(p_, q);
+        const std::int32_t slot = cell_slot_[static_cast<size_t>(c)];
+        CHAOS_ASSERT(slot >= 0, "particle resident on the wrong rank");
+        buckets_[static_cast<size_t>(slot)].push_back(&q);
+      }
+      comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerSort *
+                        p_.work_scale);
+
+      for (std::size_t s = 0; s < my_cells_.size(); ++s) {
+        auto& bucket = buckets_[s];
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const Particle* a, const Particle* b) {
+                    return a->id < b->id;
+                  });
+        const int done = collide_cell(p_, my_cells_[s], step, bucket);
+        collisions_ += done;
+        comm_.charge_work((kWorkPerCellVisit +
+                           static_cast<double>(done) * kWorkPerCollision) *
+                          p_.work_scale);
+      }
+      if (cfg_.compiler_generated)
+        comm_.charge_compute_seconds((comm_.now() - t0) *
+                                     kCompilerForallOverhead);
+    });
+  }
+
+  void move_phase() {
+    std::vector<GlobalIndex> dest_cells;
+    timed(&DsmcPhaseTimes::reduce_append, [&] {
+      for (Particle& q : mine_) advance(p_, q, p_.dt);
+      comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerMove *
+                        p_.work_scale);
+
+      dest_cells.resize(mine_.size());
+      for (std::size_t i = 0; i < mine_.size(); ++i)
+        dest_cells[i] = cell_of(p_, mine_[i]);
+
+      if (cfg_.compiler_generated) {
+        move_compiler(dest_cells);
+        return;
+      }
+      if (cfg_.migration == MigrationMode::kRegular) {
+        move_regular(dest_cells);
+        return;
+      }
+      // Hand-written light-weight path: destinations come straight from the
+      // replicated cell map, no translation, no placement lists.
+      std::vector<int> dest(mine_.size());
+      for (std::size_t i = 0; i < mine_.size(); ++i)
+        dest[i] = cell_map_[static_cast<size_t>(dest_cells[i])];
+      comm_.charge_work(static_cast<double>(mine_.size()) * 0.5);
+      auto sched = LightweightSchedule::build(comm_, dest);
+      std::vector<Particle> arrived;
+      arrived.reserve(mine_.size());
+      core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+      mine_ = std::move(arrived);
+    });
+
+    // The compiler-generated size-recovery loop runs after the append and
+    // is accounted separately (it is extra work the manual version avoids).
+    if (cfg_.compiler_generated) {
+      timed(&DsmcPhaseTimes::size_recompute, [&] {
+        std::vector<GlobalIndex> sizes =
+            lang::recompute_row_sizes(comm_, *dist_, dest_cells);
+        (void)sizes;
+      });
+    }
+  }
+
+  /// Regular-schedule migration (Table 4's expensive path): a full
+  /// inspector over the destination cells plus a per-particle placement
+  /// (permutation list) exchange — the work the light-weight schedule
+  /// exists to avoid.
+  void move_regular(const std::vector<GlobalIndex>& dest_cells) {
+    // Index analysis + schedule generation over the destination cells,
+    // translating through the distributed (paged) table — one
+    // query/reply communication round per step.
+    IndexHashTable hash(
+        static_cast<GlobalIndex>(my_cells_.size()));
+    std::vector<GlobalIndex> refs = dest_cells;
+    const core::Stamp s = hash.hash(comm_, *dist_tt_, refs);
+    Schedule cell_sched = core::build_schedule(comm_, hash, StampExpr::only(s));
+    (void)cell_sched;
+
+    // Placement negotiation: every particle's destination cell travels to
+    // the destination rank, which assigns a buffer slot and returns it.
+    const int P = comm_.size();
+    std::vector<int> dest(mine_.size());
+    std::vector<std::vector<GlobalIndex>> ask(static_cast<size_t>(P));
+    for (std::size_t i = 0; i < mine_.size(); ++i) {
+      dest[i] = cell_map_[static_cast<size_t>(dest_cells[i])];
+      ask[static_cast<size_t>(dest[i])].push_back(dest_cells[i]);
+    }
+    std::vector<std::vector<GlobalIndex>> asked = comm_.alltoallv(ask);
+    std::vector<std::vector<GlobalIndex>> slots(static_cast<size_t>(P));
+    GlobalIndex next_slot = 0;
+    for (int r = 0; r < P; ++r) {
+      slots[static_cast<size_t>(r)].resize(
+          asked[static_cast<size_t>(r)].size());
+      for (auto& v : slots[static_cast<size_t>(r)]) v = next_slot++;
+    }
+    std::vector<std::vector<GlobalIndex>> granted = comm_.alltoallv(slots);
+    comm_.charge_work(static_cast<double>(mine_.size()) * 2.0);
+    (void)granted;
+
+    // Payload motion (same arrivals as the light-weight path) plus the
+    // placement work of honoring the permutation list.
+    auto sched = LightweightSchedule::build(comm_, dest);
+    std::vector<Particle> arrived;
+    arrived.reserve(mine_.size());
+    core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+    comm_.charge_work(static_cast<double>(arrived.size()) * 2.0);
+    mine_ = std::move(arrived);
+  }
+
+  /// Compiler-generated MOVE: the REDUCE(APPEND) lowering (the size
+  /// recovery the compiler additionally emits runs afterwards, timed by the
+  /// caller; paper §5.3.2).
+  void move_compiler(const std::vector<GlobalIndex>& dest_cells) {
+    std::vector<Particle> arrived;
+    arrived.reserve(mine_.size());
+    lang::reduce_append<Particle>(comm_, *dist_, dest_cells, mine_, arrived);
+    mine_ = std::move(arrived);
+  }
+
+  void remap_phase() {
+    timed(&DsmcPhaseTimes::remap, [&] {
+      // Per-cell loads are known at each cell's owner.
+      std::vector<double> weights(my_cells_.size(), 0.0);
+      for (const Particle& q : mine_) {
+        const std::int32_t slot =
+            cell_slot_[static_cast<size_t>(cell_of(p_, q))];
+        weights[static_cast<size_t>(slot)] += 1.0;
+      }
+
+      std::vector<int> new_map;
+      if (cfg_.remap_partitioner == core::PartitionerKind::kChain) {
+        // Chain order = x slowest, so blocks are slabs across the flow.
+        std::vector<GlobalIndex> chain_ids(my_cells_.size());
+        for (std::size_t i = 0; i < my_cells_.size(); ++i)
+          chain_ids[i] = chain_position(p_, my_cells_[i]);
+        std::vector<part::Point3> centers(my_cells_.size());
+        for (std::size_t i = 0; i < my_cells_.size(); ++i)
+          centers[i] = cell_center(p_, my_cells_[i]);
+        std::vector<int> chain_map = core::parallel_partition(
+            comm_, core::PartitionerKind::kChain, chain_ids, centers, weights,
+            p_.n_cells());
+        new_map.resize(static_cast<size_t>(p_.n_cells()));
+        for (GlobalIndex c = 0; c < p_.n_cells(); ++c)
+          new_map[static_cast<size_t>(c)] =
+              chain_map[static_cast<size_t>(chain_position(p_, c))];
+      } else {
+        std::vector<part::Point3> centers(my_cells_.size());
+        for (std::size_t i = 0; i < my_cells_.size(); ++i)
+          centers[i] = cell_center(p_, my_cells_[i]);
+        new_map = core::parallel_partition(comm_, cfg_.remap_partitioner,
+                                           my_cells_, centers, weights,
+                                           p_.n_cells());
+      }
+
+      // Migrate particles to the new owners of their cells.
+      std::vector<int> dest(mine_.size());
+      for (std::size_t i = 0; i < mine_.size(); ++i)
+        dest[i] = new_map[static_cast<size_t>(cell_of(p_, mine_[i]))];
+      auto sched = LightweightSchedule::build(comm_, dest);
+      std::vector<Particle> arrived;
+      core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+      mine_ = std::move(arrived);
+      adopt_map(std::move(new_map));
+    });
+  }
+
+  void collect_state() {
+    std::vector<Particle> all = comm_.allgatherv<Particle>(mine_);
+    if (comm_.rank() == 0) {
+      std::sort(all.begin(), all.end(),
+                [](const Particle& a, const Particle& b) {
+                  return a.id < b.id;
+                });
+      shared_.particles = std::move(all);
+    }
+  }
+
+  sim::Comm& comm_;
+  const ParallelDsmcConfig& cfg_;
+  DsmcParams p_;
+  std::vector<DsmcPhaseTimes>& phase_out_;
+  ParallelDsmcResult& shared_;
+
+  std::vector<int> cell_map_;            // replicated cell -> proc
+  std::vector<GlobalIndex> my_cells_;    // owned cells, ascending
+  std::vector<std::int32_t> cell_slot_;  // cell -> local slot or -1
+  std::vector<Particle> mine_;
+  std::vector<std::vector<Particle*>> buckets_;
+  std::unique_ptr<lang::Distribution> dist_;
+  std::unique_ptr<TranslationTable> dist_tt_;  // regular path only
+
+  long long collisions_ = 0;
+  DsmcPhaseTimes t_;
+};
+
+}  // namespace
+
+ParallelDsmcResult run_parallel_dsmc(sim::Machine& machine,
+                                     const ParallelDsmcConfig& cfg) {
+  ParallelDsmcResult result;
+  std::vector<DsmcPhaseTimes> phases(static_cast<size_t>(machine.size()));
+  machine.run([&](sim::Comm& comm) {
+    Driver d(comm, cfg, phases, result);
+    d.run();
+  });
+  for (const DsmcPhaseTimes& p : phases) {
+    result.phases.collide = std::max(result.phases.collide, p.collide);
+    result.phases.reduce_append =
+        std::max(result.phases.reduce_append, p.reduce_append);
+    result.phases.size_recompute =
+        std::max(result.phases.size_recompute, p.size_recompute);
+    result.phases.remap = std::max(result.phases.remap, p.remap);
+  }
+  result.execution_time = machine.execution_time();
+  result.computation_time = machine.mean_compute_time();
+  result.communication_time = machine.mean_comm_time();
+  result.load_balance = machine.load_balance();
+  return result;
+}
+
+}  // namespace chaos::dsmc

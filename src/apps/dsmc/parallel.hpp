@@ -1,0 +1,57 @@
+// CHAOS-parallel driver for the mini-DSMC simulation (paper §4.2):
+// cell-based domain decomposition, per-step particle migration through
+// light-weight schedules (or through regular schedules, for the Table 4
+// comparison), periodic load-balancing remaps with pluggable partitioners
+// (Table 5), and a compiler-generated mode that lowers the MOVE phase to
+// REDUCE(APPEND, ...) plus the extra size-recovery loop (Table 7).
+#pragma once
+
+#include "apps/dsmc/sequential.hpp"
+#include "core/parallel_partition.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::dsmc {
+
+enum class MigrationMode {
+  kLightweight,  ///< light-weight schedules + scatter_append (paper §3.2.1)
+  kRegular,      ///< full inspector + permutation placement every step
+};
+
+struct ParallelDsmcConfig {
+  DsmcParams params;
+  int steps = 50;
+  MigrationMode migration = MigrationMode::kLightweight;
+
+  /// 0 = static partition (cells partitioned once at start, never remapped).
+  int remap_every = 0;
+  core::PartitionerKind remap_partitioner = core::PartitionerKind::kChain;
+
+  /// Route the MOVE phase through the lang:: REDUCE(APPEND) lowering with
+  /// the compiler's extra size-recovery communication (Table 7).
+  bool compiler_generated = false;
+
+  /// Collect final particles (sorted by id) into the result. Tests only.
+  bool collect_state = false;
+};
+
+struct DsmcPhaseTimes {
+  double collide = 0;        ///< collision + rebucket/sort
+  double reduce_append = 0;  ///< MOVE-phase migration (schedule + transport)
+  double size_recompute = 0; ///< compiler-generated size-recovery loop
+  double remap = 0;          ///< periodic repartition + cell/particle remap
+};
+
+struct ParallelDsmcResult {
+  DsmcPhaseTimes phases;  ///< max over ranks
+  double execution_time = 0;
+  double computation_time = 0;
+  double communication_time = 0;
+  double load_balance = 0;
+  long long collisions = 0;
+  std::vector<Particle> particles;  ///< only when collect_state
+};
+
+ParallelDsmcResult run_parallel_dsmc(sim::Machine& machine,
+                                     const ParallelDsmcConfig& cfg);
+
+}  // namespace chaos::dsmc

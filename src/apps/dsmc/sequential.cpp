@@ -1,0 +1,49 @@
+#include "apps/dsmc/sequential.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace chaos::dsmc {
+
+SequentialDsmcResult run_sequential_dsmc(const DsmcParams& params,
+                                         int steps) {
+  CHAOS_CHECK(steps >= 0);
+  SequentialDsmcResult r;
+  r.particles = generate_particles(params);
+
+  std::vector<std::vector<Particle*>> cells(
+      static_cast<size_t>(params.n_cells()));
+
+  for (int step = 0; step < steps; ++step) {
+    // Bucket by cell and sort each cell by id (the determinism contract).
+    for (auto& c : cells) c.clear();
+    for (Particle& q : r.particles)
+      cells[static_cast<size_t>(cell_of(params, q))].push_back(&q);
+    r.work_units +=
+        static_cast<double>(r.particles.size()) * kWorkPerSort * params.work_scale;
+
+    for (GlobalIndex c = 0; c < params.n_cells(); ++c) {
+      auto& bucket = cells[static_cast<size_t>(c)];
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Particle* a, const Particle* b) {
+                  return a->id < b->id;
+                });
+      const int done = collide_cell(params, c, step, bucket);
+      r.collisions += done;
+      r.work_units += (kWorkPerCellVisit +
+                       static_cast<double>(done) * kWorkPerCollision) *
+                      params.work_scale;
+    }
+
+    for (Particle& q : r.particles) advance(params, q, params.dt);
+    r.work_units +=
+        static_cast<double>(r.particles.size()) * kWorkPerMove * params.work_scale;
+  }
+
+  std::sort(r.particles.begin(), r.particles.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  return r;
+}
+
+}  // namespace chaos::dsmc

@@ -1,0 +1,17 @@
+// Sequential reference driver for the mini-DSMC simulation: the ground
+// truth for the parallel drivers and the sequential column of Table 5.
+#pragma once
+
+#include "apps/dsmc/dsmc.hpp"
+
+namespace chaos::dsmc {
+
+struct SequentialDsmcResult {
+  std::vector<Particle> particles;  ///< sorted by id
+  double work_units = 0.0;
+  long long collisions = 0;
+};
+
+SequentialDsmcResult run_sequential_dsmc(const DsmcParams& params, int steps);
+
+}  // namespace chaos::dsmc

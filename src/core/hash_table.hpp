@@ -1,0 +1,108 @@
+// The inspector's index hash table (paper §3.2.2).
+//
+// `CHAOS_hash` is `IndexHashTable::hash`: it enters every global index of an
+// indirection array into the table, translates global indices to local
+// indices *in place*, and returns a stamp identifying the array's entries.
+// The table stores, per global index:
+//   - the translated address (home processor + offset, from the translation
+//     table),
+//   - the assigned local index (owned elements map to their own offset;
+//     off-processor elements get a ghost-buffer slot past the owned region),
+//   - the stamp mask of every indirection array that referenced it.
+//
+// The two-step inspector falls out: `hash` is index analysis;
+// `build_schedule` (schedule.hpp) reads matching entries back out. The
+// payoff for adaptive problems is reuse: re-hashing a mostly-unchanged
+// indirection array finds most indices already present and skips their
+// translation — `Stats` exposes exactly how much work was avoided.
+//
+// Ghost slots are stable: clearing a stamp never moves surviving entries,
+// and re-hashing an index whose stamps were cleared revives it with its old
+// slot. `compact()` explicitly reclaims dead slots (which invalidates any
+// schedule built earlier).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stamp.hpp"
+#include "core/translation_table.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::core {
+
+class IndexHashTable {
+ public:
+  /// `owned_count` is the size of this rank's owned region; assigned local
+  /// indices for off-processor elements start at owned_count.
+  explicit IndexHashTable(GlobalIndex owned_count);
+
+  struct Entry {
+    GlobalIndex global = -1;
+    Home home;
+    GlobalIndex local_index = -1;
+    Stamp stamps = 0;
+  };
+
+  struct Stats {
+    std::uint64_t inserts = 0;       ///< new indices entered
+    std::uint64_t hits = 0;          ///< indices found already present
+    std::uint64_t translations = 0;  ///< translation-table lookups performed
+  };
+
+  /// Index analysis for one indirection array. Enters all indices, rewrites
+  /// them to local indices in place, marks them with a fresh stamp (lowest
+  /// free bit, so a just-cleared stamp is recycled), and returns that stamp.
+  ///
+  /// Collective: all ranks must call together (translation of unknown
+  /// indices may communicate when the table is distributed).
+  Stamp hash(sim::Comm& comm, const TranslationTable& table,
+             std::span<GlobalIndex> indices);
+
+  /// Remove `stamp` from every entry and return the bit to the free pool.
+  /// Entries left with no stamps become dead but keep their ghost slot
+  /// until compact().
+  void clear_stamp(Stamp stamp);
+
+  /// Drop dead entries and re-pack ghost slots densely (in surviving
+  /// insertion order). Invalidates previously built schedules.
+  void compact();
+
+  GlobalIndex owned_count() const { return owned_; }
+  /// Ghost-buffer slots assigned so far (including slots of dead entries
+  /// until compact()).
+  GlobalIndex ghost_count() const { return next_ghost_slot_; }
+  /// Size a local data array must have to hold owned + ghost elements.
+  GlobalIndex local_extent() const { return owned_ + next_ghost_slot_; }
+
+  /// Number of live entries.
+  std::size_t live_entries() const;
+  const Stats& stats() const { return stats_; }
+
+  /// Visit live entries matching `expr` in insertion order.
+  template <typename Fn>
+  void for_each_matching(StampExpr expr, Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.stamps == 0) continue;
+      if (expr.matches(e.stamps)) fn(e);
+    }
+  }
+
+  /// Direct lookup for tests: returns nullptr if absent.
+  const Entry* find(GlobalIndex g) const;
+
+ private:
+  std::size_t probe(GlobalIndex g) const;  // slot in index_, or empty slot
+  void grow();
+  static std::uint64_t mix(GlobalIndex g);
+
+  GlobalIndex owned_;
+  GlobalIndex next_ghost_slot_ = 0;
+  std::vector<Entry> entries_;       // insertion-ordered, stable ids
+  std::vector<std::int32_t> index_;  // open addressing: entry id or -1
+  Stamp free_stamps_ = ~Stamp{0};
+  Stats stats_;
+};
+
+}  // namespace chaos::core

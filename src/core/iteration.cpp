@@ -1,0 +1,107 @@
+#include "core/iteration.hpp"
+
+#include <algorithm>
+
+#include "core/costs.hpp"
+
+namespace chaos::core {
+
+namespace {
+
+std::vector<int> partition_iterations(sim::Comm& comm,
+                                      const TranslationTable& table,
+                                      std::span<const GlobalIndex> refs,
+                                      std::size_t arity, bool majority) {
+  CHAOS_CHECK(arity >= 1, "iterations must reference at least one element");
+  CHAOS_CHECK(refs.size() % arity == 0,
+              "refs length must be a multiple of arity");
+  const std::size_t iters = refs.size() / arity;
+
+  std::vector<Home> homes = table.lookup(comm, refs);
+  std::vector<int> out(iters);
+
+  // Majority vote within each iteration's small reference set; candidates
+  // scanned in reference order, so ties resolve to the earliest referenced
+  // owner.
+  std::vector<int> procs(arity);
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (!majority) {
+      out[i] = homes[i * arity].proc;
+      continue;
+    }
+    for (std::size_t a = 0; a < arity; ++a) procs[a] = homes[i * arity + a].proc;
+    int best = procs[0];
+    int best_count = 0;
+    for (std::size_t a = 0; a < arity; ++a) {
+      int count = 0;
+      for (std::size_t b = 0; b < arity; ++b)
+        if (procs[b] == procs[a]) ++count;
+      if (count > best_count) {
+        best_count = count;
+        best = procs[a];
+      }
+    }
+    out[i] = best;
+  }
+  comm.charge_work(static_cast<double>(refs.size()) * 2.0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> almost_owner_computes(sim::Comm& comm,
+                                       const TranslationTable& table,
+                                       std::span<const GlobalIndex> refs,
+                                       std::size_t arity) {
+  return partition_iterations(comm, table, refs, arity, /*majority=*/true);
+}
+
+std::vector<int> owner_computes(sim::Comm& comm, const TranslationTable& table,
+                                std::span<const GlobalIndex> refs,
+                                std::size_t arity) {
+  return partition_iterations(comm, table, refs, arity, /*majority=*/false);
+}
+
+RemappedIterations remap_iterations(sim::Comm& comm,
+                                    std::span<const int> dest_proc,
+                                    std::span<const GlobalIndex> refs,
+                                    std::size_t arity,
+                                    std::span<const GlobalIndex> iter_ids) {
+  CHAOS_CHECK(arity >= 1);
+  CHAOS_CHECK(refs.size() == dest_proc.size() * arity,
+              "refs length must equal iterations * arity");
+  CHAOS_CHECK(iter_ids.size() == dest_proc.size(),
+              "one iteration id per iteration");
+  const int P = comm.size();
+
+  // Pack each iteration as [id, ref0, .., ref_{arity-1}] into the stream of
+  // its destination rank.
+  std::vector<std::vector<GlobalIndex>> out(static_cast<size_t>(P));
+  for (std::size_t i = 0; i < dest_proc.size(); ++i) {
+    const int d = dest_proc[i];
+    CHAOS_CHECK(d >= 0 && d < P, "destination processor out of range");
+    auto& stream = out[static_cast<size_t>(d)];
+    stream.push_back(iter_ids[i]);
+    for (std::size_t a = 0; a < arity; ++a)
+      stream.push_back(refs[i * arity + a]);
+  }
+  comm.charge_work(static_cast<double>(refs.size()) * costs::kPackWord);
+
+  std::vector<std::vector<GlobalIndex>> in = comm.alltoallv(out);
+
+  RemappedIterations result;
+  const std::size_t record = arity + 1;
+  for (int r = 0; r < P; ++r) {
+    const auto& stream = in[static_cast<size_t>(r)];
+    CHAOS_CHECK(stream.size() % record == 0,
+                "malformed iteration stream");
+    for (std::size_t at = 0; at < stream.size(); at += record) {
+      result.iter_ids.push_back(stream[at]);
+      for (std::size_t a = 0; a < arity; ++a)
+        result.refs.push_back(stream[at + 1 + a]);
+    }
+  }
+  return result;
+}
+
+}  // namespace chaos::core

@@ -1,0 +1,51 @@
+// Loop-iteration partitioning and remapping (paper §3.1 Phases C & D).
+//
+// Given the data references made by each iteration of an irregular loop,
+// assign iterations to processors:
+//   - owner_computes: the processor owning the iteration's first (written)
+//     reference executes it;
+//   - almost_owner_computes: the processor owning the *majority* of the
+//     iteration's references executes it (CHAOS's default — biased toward
+//     reducing communication). Ties go to the earliest-referenced owner
+//     among the tied, which is deterministic.
+//
+// `remap_iterations` then redistributes the indirection-array slices (and
+// the iterations' global ids) so each processor holds exactly the
+// iterations it will execute.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/translation_table.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::core {
+
+/// `refs` is iteration-major: iteration i references
+/// refs[i*arity .. (i+1)*arity). Returns the executing processor per local
+/// iteration. Collective (translation may communicate).
+std::vector<int> almost_owner_computes(sim::Comm& comm,
+                                       const TranslationTable& table,
+                                       std::span<const GlobalIndex> refs,
+                                       std::size_t arity);
+
+std::vector<int> owner_computes(sim::Comm& comm, const TranslationTable& table,
+                                std::span<const GlobalIndex> refs,
+                                std::size_t arity);
+
+/// Result of redistributing iterations: the refs (still global indices,
+/// iteration-major) and global iteration ids now resident on this rank,
+/// ordered by source rank then original order.
+struct RemappedIterations {
+  std::vector<GlobalIndex> refs;
+  std::vector<GlobalIndex> iter_ids;
+};
+
+RemappedIterations remap_iterations(sim::Comm& comm,
+                                    std::span<const int> dest_proc,
+                                    std::span<const GlobalIndex> refs,
+                                    std::size_t arity,
+                                    std::span<const GlobalIndex> iter_ids);
+
+}  // namespace chaos::core

@@ -1,0 +1,54 @@
+#include "core/remap.hpp"
+
+#include "core/costs.hpp"
+
+namespace chaos::core {
+
+Schedule build_remap_schedule(sim::Comm& comm,
+                              std::span<const GlobalIndex> my_old_globals,
+                              const TranslationTable& new_table) {
+  const int P = comm.size();
+  const int me = comm.rank();
+
+  // Where does each of my elements go under the new distribution?
+  std::vector<Home> homes = new_table.lookup(comm, my_old_globals);
+
+  std::vector<ScheduleBlock> send_blocks;
+  std::vector<ScheduleBlock> recv_blocks;
+
+  // Group my outgoing elements by destination; ship the *new offsets* so
+  // each destination can build its placement list.
+  std::vector<std::vector<GlobalIndex>> old_positions(static_cast<size_t>(P));
+  std::vector<std::vector<GlobalIndex>> new_offsets(static_cast<size_t>(P));
+  for (std::size_t i = 0; i < my_old_globals.size(); ++i) {
+    const Home& h = homes[i];
+    old_positions[static_cast<size_t>(h.proc)].push_back(
+        static_cast<GlobalIndex>(i));
+    new_offsets[static_cast<size_t>(h.proc)].push_back(h.offset);
+  }
+  comm.charge_work(static_cast<double>(my_old_globals.size()) * 2.0);
+
+  std::vector<std::vector<GlobalIndex>> incoming_offsets =
+      comm.alltoallv(new_offsets);
+
+  for (int r = 0; r < P; ++r) {
+    auto& old_pos = old_positions[static_cast<size_t>(r)];
+    if (r == me) {
+      // Self-block: aligned (send position k pairs with recv position k).
+      if (!old_pos.empty()) {
+        send_blocks.push_back(ScheduleBlock{me, std::move(old_pos)});
+        recv_blocks.push_back(ScheduleBlock{
+            me, std::move(new_offsets[static_cast<size_t>(me)])});
+      }
+      continue;
+    }
+    if (!old_pos.empty())
+      send_blocks.push_back(ScheduleBlock{r, std::move(old_pos)});
+    if (!incoming_offsets[static_cast<size_t>(r)].empty())
+      recv_blocks.push_back(ScheduleBlock{
+          r, std::move(incoming_offsets[static_cast<size_t>(r)])});
+  }
+  return Schedule(std::move(send_blocks), std::move(recv_blocks));
+}
+
+}  // namespace chaos::core

@@ -1,0 +1,29 @@
+// Data remapping (paper §3.1 Phase B): move a distributed array from its
+// current distribution to a newly computed one.
+//
+// `build_remap_schedule` produces a push Schedule: the send side reads the
+// old local array at old offsets; the recv side writes the new local array
+// at new offsets; elements that stay on-rank form an aligned self-block.
+// Executing it with `transport(comm, sched, old_data, new_data)` performs
+// the motion; the same schedule can remap every array aligned with the same
+// distribution (the paper remaps all atom-aligned arrays of CHARMM with one
+// schedule).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/translation_table.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::core {
+
+/// `my_old_globals` lists the global element ids this rank currently owns,
+/// in local-offset order (offset i holds global my_old_globals[i]).
+/// `new_table` describes the target distribution. Collective.
+Schedule build_remap_schedule(sim::Comm& comm,
+                              std::span<const GlobalIndex> my_old_globals,
+                              const TranslationTable& new_table);
+
+}  // namespace chaos::core

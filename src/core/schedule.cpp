@@ -1,0 +1,41 @@
+#include "core/schedule.hpp"
+
+#include "core/costs.hpp"
+
+namespace chaos::core {
+
+Schedule build_schedule(sim::Comm& comm, const IndexHashTable& table,
+                        StampExpr expr) {
+  const int P = comm.size();
+  const int me = comm.rank();
+
+  // Collect, per owner, the remote offsets we need and where they land.
+  std::vector<std::vector<GlobalIndex>> requests(static_cast<size_t>(P));
+  std::vector<std::vector<GlobalIndex>> placement(static_cast<size_t>(P));
+  double scanned = 0;
+  table.for_each_matching(expr, [&](const IndexHashTable::Entry& e) {
+    scanned += 1.0;
+    if (e.home.proc == me) return;
+    requests[static_cast<size_t>(e.home.proc)].push_back(e.home.offset);
+    placement[static_cast<size_t>(e.home.proc)].push_back(e.local_index);
+  });
+  comm.charge_work(scanned * costs::kScheduleEntry);
+
+  // Owners learn what to send: the request lists cross the network here —
+  // this is the priced part of schedule generation.
+  std::vector<std::vector<GlobalIndex>> incoming = comm.alltoallv(requests);
+
+  std::vector<ScheduleBlock> send_blocks;
+  std::vector<ScheduleBlock> recv_blocks;
+  for (int r = 0; r < P; ++r) {
+    if (r != me && !incoming[static_cast<size_t>(r)].empty())
+      send_blocks.push_back(
+          ScheduleBlock{r, std::move(incoming[static_cast<size_t>(r)])});
+    if (r != me && !placement[static_cast<size_t>(r)].empty())
+      recv_blocks.push_back(
+          ScheduleBlock{r, std::move(placement[static_cast<size_t>(r)])});
+  }
+  return Schedule(std::move(send_blocks), std::move(recv_blocks));
+}
+
+}  // namespace chaos::core

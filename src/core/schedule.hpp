@@ -1,0 +1,93 @@
+// Communication schedules (paper §3.2.1).
+//
+// A Schedule is a symmetric description of one structured data motion:
+//   - send_blocks: for each peer, the local indices to read and ship,
+//   - recv_blocks: for each peer, the local indices where incoming elements
+//     land (the paper's "permutation list"),
+//   - per-peer sizes (the paper's send_size / fetch_size) fall out of the
+//     block lengths.
+//
+// The same object serves both transport directions: `gather` executes it
+// forward (owners send, requesters place into ghost slots) and `scatter` /
+// `scatter_add` execute the transpose (requesters return ghost values,
+// owners combine them into owned storage). Remap schedules are "push"
+// schedules built over the same structure, including a self-block for data
+// that stays on-rank.
+//
+// `build_schedule` is the schedule-generation half of the two-step
+// inspector: it extracts hash-table entries matching a stamp expression and
+// exchanges request lists with the owning processors. Merged and
+// incremental schedules are just different stamp expressions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hash_table.hpp"
+#include "core/stamp.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::core {
+
+struct ScheduleBlock {
+  int proc = -1;
+  std::vector<GlobalIndex> indices;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::vector<ScheduleBlock> send_blocks,
+           std::vector<ScheduleBlock> recv_blocks)
+      : send_(std::move(send_blocks)), recv_(std::move(recv_blocks)) {}
+
+  const std::vector<ScheduleBlock>& send_blocks() const { return send_; }
+  const std::vector<ScheduleBlock>& recv_blocks() const { return recv_; }
+
+  /// Total elements shipped to other processors (excludes any self-block).
+  GlobalIndex send_total(int self_rank) const {
+    GlobalIndex n = 0;
+    for (const auto& b : send_)
+      if (b.proc != self_rank) n += static_cast<GlobalIndex>(b.indices.size());
+    return n;
+  }
+
+  GlobalIndex recv_total(int self_rank) const {
+    GlobalIndex n = 0;
+    for (const auto& b : recv_)
+      if (b.proc != self_rank) n += static_cast<GlobalIndex>(b.indices.size());
+    return n;
+  }
+
+  /// The paper's send_size array: (peer, element count) pairs.
+  std::vector<std::pair<int, GlobalIndex>> send_sizes() const {
+    std::vector<std::pair<int, GlobalIndex>> out;
+    for (const auto& b : send_)
+      out.emplace_back(b.proc, static_cast<GlobalIndex>(b.indices.size()));
+    return out;
+  }
+
+  /// The paper's fetch_size array.
+  std::vector<std::pair<int, GlobalIndex>> fetch_sizes() const {
+    std::vector<std::pair<int, GlobalIndex>> out;
+    for (const auto& b : recv_)
+      out.emplace_back(b.proc, static_cast<GlobalIndex>(b.indices.size()));
+    return out;
+  }
+
+ private:
+  std::vector<ScheduleBlock> send_;
+  std::vector<ScheduleBlock> recv_;
+};
+
+/// Schedule generation (the paper's CHAOS_schedule): build a communication
+/// schedule from the hash-table entries matching `expr`. Collective.
+///
+/// The resulting schedule's recv side places fetched elements at their
+/// assigned ghost slots; the send side lists the owned offsets peers asked
+/// for.
+Schedule build_schedule(sim::Comm& comm, const IndexHashTable& table,
+                        StampExpr expr);
+
+}  // namespace chaos::core

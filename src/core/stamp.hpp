@@ -1,0 +1,57 @@
+// Stamps identify which indirection array entered an index into the
+// inspector's hash table (paper §3.2.2). Each hashed indirection array gets
+// one bit; an entry's stamp mask records every array that references it.
+//
+// Schedules are built from *stamp expressions*: logical combinations of
+// stamps. The paper's pseudo-code (Figure 6) maps directly:
+//   CHAOS_schedule(stamp = a)      -> StampExpr::only(a)
+//   CHAOS_schedule(stamp = a+b+c)  -> StampExpr::merged({a,b,c})
+//   CHAOS_schedule(stamp = b-a)    -> StampExpr::incremental(b, a)
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "util/check.hpp"
+
+namespace chaos::core {
+
+/// One bit per indirection array; up to 64 concurrently live arrays per
+/// hash table. Cleared stamps are recycled (paper: "the same stamp can be
+/// reused").
+using Stamp = std::uint64_t;
+
+/// Selects hash-table entries by stamp membership. An entry with stamp mask
+/// `m` matches iff (m & include) != 0 && (m & exclude) == 0.
+struct StampExpr {
+  Stamp include = 0;
+  Stamp exclude = 0;
+
+  /// Entries referenced by stamp `s` (a plain per-array schedule).
+  static StampExpr only(Stamp s) {
+    CHAOS_CHECK(s != 0, "empty stamp");
+    return {s, 0};
+  }
+
+  /// Entries referenced by any of the given stamps (a *merged* schedule:
+  /// one gather serving several loops).
+  static StampExpr merged(std::initializer_list<Stamp> stamps) {
+    StampExpr e;
+    for (Stamp s : stamps) e.include |= s;
+    CHAOS_CHECK(e.include != 0, "empty merged stamp set");
+    return e;
+  }
+
+  /// Entries referenced by `wanted` but NOT already covered by `covered`
+  /// (an *incremental* schedule: fetch only what earlier schedules missed).
+  static StampExpr incremental(Stamp wanted, Stamp covered) {
+    CHAOS_CHECK(wanted != 0, "empty stamp");
+    return {wanted, covered};
+  }
+
+  bool matches(Stamp entry_mask) const {
+    return (entry_mask & include) != 0 && (entry_mask & exclude) == 0;
+  }
+};
+
+}  // namespace chaos::core

@@ -1,0 +1,175 @@
+#include "core/translation_table.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/costs.hpp"
+#include "util/check.hpp"
+
+namespace chaos::core {
+
+namespace {
+
+// Derive homes for the page [page_first, page_first + page_map.size()) given
+// the number of elements each proc owns in all earlier pages.
+void assign_offsets(std::span<const int> page_map, GlobalIndex /*page_first*/,
+                    std::vector<GlobalIndex>& next_offset_per_proc,
+                    std::vector<Home>& out) {
+  out.reserve(out.size() + page_map.size());
+  for (int proc : page_map) {
+    CHAOS_CHECK(proc >= 0 &&
+                    proc < static_cast<int>(next_offset_per_proc.size()),
+                "map array names a processor outside the machine");
+    out.push_back(Home{proc, next_offset_per_proc[static_cast<size_t>(proc)]++});
+  }
+}
+
+}  // namespace
+
+TranslationTable TranslationTable::build_replicated(
+    sim::Comm& comm, std::span<const int> map_slice) {
+  // Gather the whole map; every rank derives the identical full table.
+  std::vector<int> full_map = comm.allgatherv<int>(map_slice);
+  const GlobalIndex n = static_cast<GlobalIndex>(full_map.size());
+
+  TranslationTable t(Mode::kReplicated, n, comm.size());
+  t.owned_counts_.assign(static_cast<size_t>(comm.size()), 0);
+  std::vector<GlobalIndex> next(static_cast<size_t>(comm.size()), 0);
+  assign_offsets(full_map, 0, next, t.homes_);
+  t.owned_counts_ = next;
+  comm.charge_work(static_cast<double>(n) * 2.0);  // table construction scan
+  return t;
+}
+
+TranslationTable TranslationTable::from_full_map(
+    sim::Comm& comm, std::span<const int> full_map) {
+  const GlobalIndex n = static_cast<GlobalIndex>(full_map.size());
+  TranslationTable t(Mode::kReplicated, n, comm.size());
+  t.owned_counts_.assign(static_cast<size_t>(comm.size()), 0);
+  std::vector<GlobalIndex> next(static_cast<size_t>(comm.size()), 0);
+  assign_offsets(full_map, 0, next, t.homes_);
+  t.owned_counts_ = next;
+  comm.charge_work(static_cast<double>(n) * 2.0);
+  return t;
+}
+
+TranslationTable TranslationTable::build_distributed(
+    sim::Comm& comm, std::span<const int> map_slice) {
+  const int P = comm.size();
+  // Total size and per-(rank,proc) ownership counts, so each page can assign
+  // offsets consistent with the global ascending-index convention.
+  std::vector<GlobalIndex> slice_sizes = comm.allgather(
+      static_cast<GlobalIndex>(map_slice.size()));
+  GlobalIndex n = 0;
+  for (GlobalIndex s : slice_sizes) n += s;
+
+  // Verify the caller's slice matches the BLOCK page layout.
+  part::BlockLayout pages(n > 0 ? n : 1, P);
+  CHAOS_CHECK(static_cast<GlobalIndex>(map_slice.size()) ==
+                  (n > 0 ? pages.size_of(comm.rank()) : 0),
+              "map slice does not match the BLOCK page layout");
+
+  // counts[r*P + p] = number of elements proc p owns within rank r's page.
+  std::vector<GlobalIndex> my_counts(static_cast<size_t>(P), 0);
+  for (int proc : map_slice) {
+    CHAOS_CHECK(proc >= 0 && proc < P,
+                "map array names a processor outside the machine");
+    ++my_counts[static_cast<size_t>(proc)];
+  }
+  std::vector<GlobalIndex> all_counts = comm.allgatherv<GlobalIndex>(my_counts);
+
+  TranslationTable t(Mode::kDistributed, n, P);
+  t.owned_counts_.assign(static_cast<size_t>(P), 0);
+  for (int r = 0; r < P; ++r)
+    for (int p = 0; p < P; ++p)
+      t.owned_counts_[static_cast<size_t>(p)] +=
+          all_counts[static_cast<size_t>(r) * P + static_cast<size_t>(p)];
+
+  // Offsets for proc p within my page start after all lower pages' counts.
+  std::vector<GlobalIndex> next(static_cast<size_t>(P), 0);
+  for (int r = 0; r < comm.rank(); ++r)
+    for (int p = 0; p < P; ++p)
+      next[static_cast<size_t>(p)] +=
+          all_counts[static_cast<size_t>(r) * P + static_cast<size_t>(p)];
+  assign_offsets(map_slice, pages.first(comm.rank()), next, t.homes_);
+  comm.charge_work(static_cast<double>(map_slice.size()) * 2.0);
+  return t;
+}
+
+GlobalIndex TranslationTable::owned_count(int proc) const {
+  CHAOS_CHECK(proc >= 0 &&
+              proc < static_cast<int>(owned_counts_.size()));
+  return owned_counts_[static_cast<size_t>(proc)];
+}
+
+Home TranslationTable::lookup_local(GlobalIndex g) const {
+  CHAOS_CHECK(mode_ == Mode::kReplicated,
+              "lookup_local requires a replicated table");
+  CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+  return homes_[static_cast<size_t>(g)];
+}
+
+std::vector<GlobalIndex> TranslationTable::owned_globals(int proc) const {
+  CHAOS_CHECK(mode_ == Mode::kReplicated,
+              "owned_globals requires a replicated table");
+  std::vector<GlobalIndex> out;
+  out.reserve(static_cast<size_t>(owned_count(proc)));
+  for (GlobalIndex g = 0; g < n_; ++g)
+    if (homes_[static_cast<size_t>(g)].proc == proc) out.push_back(g);
+  return out;
+}
+
+std::vector<Home> TranslationTable::lookup(
+    sim::Comm& comm, std::span<const GlobalIndex> globals) const {
+  if (mode_ == Mode::kReplicated) {
+    std::vector<Home> out;
+    out.reserve(globals.size());
+    for (GlobalIndex g : globals) out.push_back(lookup_local(g));
+    comm.charge_work(static_cast<double>(globals.size()) *
+                     costs::kTranslateLocal);
+    return out;
+  }
+
+  // Distributed: route queries to page owners, answer, route back.
+  const int P = comm.size();
+  std::vector<std::vector<GlobalIndex>> queries(static_cast<size_t>(P));
+  std::vector<std::pair<int, std::size_t>> origin(globals.size());
+  for (std::size_t i = 0; i < globals.size(); ++i) {
+    const GlobalIndex g = globals[i];
+    CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+    const int page_owner = page_layout_.owner(g);
+    origin[i] = {page_owner, queries[static_cast<size_t>(page_owner)].size()};
+    queries[static_cast<size_t>(page_owner)].push_back(g);
+  }
+  std::vector<std::vector<GlobalIndex>> incoming = comm.alltoallv(queries);
+
+  // Answer from my page.
+  const GlobalIndex my_first = page_layout_.first(comm.rank());
+  std::vector<std::vector<Home>> replies(static_cast<size_t>(P));
+  double answered = 0;
+  for (int r = 0; r < P; ++r) {
+    auto& in = incoming[static_cast<size_t>(r)];
+    auto& rep = replies[static_cast<size_t>(r)];
+    rep.reserve(in.size());
+    for (GlobalIndex g : in) {
+      const GlobalIndex local = g - my_first;
+      CHAOS_CHECK(local >= 0 &&
+                      local < static_cast<GlobalIndex>(homes_.size()),
+                  "query outside this rank's page");
+      rep.push_back(homes_[static_cast<size_t>(local)]);
+    }
+    answered += static_cast<double>(in.size());
+  }
+  std::vector<std::vector<Home>> answers = comm.alltoallv(replies);
+
+  std::vector<Home> out(globals.size());
+  for (std::size_t i = 0; i < globals.size(); ++i) {
+    const auto [owner, pos] = origin[i];
+    out[i] = answers[static_cast<size_t>(owner)][pos];
+  }
+  comm.charge_work((static_cast<double>(globals.size()) + answered) *
+                   costs::kTranslateRemote);
+  return out;
+}
+
+}  // namespace chaos::core

@@ -1,0 +1,82 @@
+// Translation table: the CHAOS structure that records, for every element of
+// an irregularly distributed array, its home processor and local offset
+// (paper §3.1, Phase A). It is built from a "map array" (Fortran D's
+// maparray: map[g] = owning processor of global element g) and may be
+// stored replicated (every rank holds the full table) or distributed
+// (each rank holds one BLOCK page of the table and lookups communicate).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "partition/layout.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::core {
+
+using GlobalIndex = std::int64_t;
+
+/// Home of one distributed-array element.
+struct Home {
+  int proc = -1;
+  GlobalIndex offset = -1;
+
+  friend bool operator==(const Home&, const Home&) = default;
+};
+
+class TranslationTable {
+ public:
+  enum class Mode { kReplicated, kDistributed };
+
+  /// Build a replicated table. Each rank passes its BLOCK slice of the map
+  /// array (rank r owns the slice of a BlockLayout(n, P) page layout); the
+  /// build allgathers the map and every rank derives the full table. Local
+  /// offsets are assigned in ascending global-index order per owner, which
+  /// is the CHAOS convention.
+  static TranslationTable build_replicated(sim::Comm& comm,
+                                           std::span<const int> map_slice);
+
+  /// Build a distributed (paged) table: rank r stores homes only for the
+  /// global indices in its BLOCK page. Lookups for other pages communicate.
+  static TranslationTable build_distributed(sim::Comm& comm,
+                                            std::span<const int> map_slice);
+
+  /// Convenience: build a replicated table directly from a full map array
+  /// already present on every rank (must be identical everywhere).
+  static TranslationTable from_full_map(sim::Comm& comm,
+                                        std::span<const int> full_map);
+
+  Mode mode() const { return mode_; }
+  GlobalIndex global_size() const { return n_; }
+
+  /// Number of elements owned by `proc` (available in both modes).
+  GlobalIndex owned_count(int proc) const;
+
+  /// Translate a batch of global indices. In distributed mode this performs
+  /// one collective query/reply exchange; all ranks must call it together
+  /// (pass an empty batch to participate without queries).
+  std::vector<Home> lookup(sim::Comm& comm,
+                           std::span<const GlobalIndex> globals) const;
+
+  /// Replicated-mode-only single-element lookup (no communication).
+  Home lookup_local(GlobalIndex g) const;
+
+  /// The global indices owned by `proc`, in local-offset order.
+  /// Replicated mode only.
+  std::vector<GlobalIndex> owned_globals(int proc) const;
+
+ private:
+  TranslationTable(Mode mode, GlobalIndex n, int nranks)
+      : mode_(mode), n_(n), page_layout_(n > 0 ? n : 1, nranks) {}
+
+  Mode mode_;
+  GlobalIndex n_;
+  part::BlockLayout page_layout_;  // page ownership for distributed mode
+
+  // Replicated: full table. Distributed: only this rank's page.
+  std::vector<Home> homes_;
+  std::vector<GlobalIndex> owned_counts_;  // per proc, both modes
+};
+
+}  // namespace chaos::core

@@ -1,0 +1,86 @@
+// Fortran D / HPF data-decomposition support (paper §5.1), embedded in C++.
+//
+// The paper's declarations map as follows:
+//   DECOMPOSITION reg(N)          -> Distribution size N (constructed below)
+//   DISTRIBUTE reg(BLOCK)         -> Distribution::block(comm, N)
+//   DISTRIBUTE reg(CYCLIC)        -> Distribution::cyclic(comm, N)
+//   DISTRIBUTE irreg(map)         -> Distribution::irregular(comm, map)
+//   ALIGN x, y WITH irreg         -> DistributedArray<T> constructed over
+//                                    the same Distribution
+//
+// A Distribution owns the translation table; executable re-DISTRIBUTE
+// statements are expressed by constructing a new Distribution and remapping
+// aligned arrays with a Remapper (distribution.hpp + distributed_array.hpp
+// together implement Phase A/B of the runtime).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/remap.hpp"
+#include "core/translation_table.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::lang {
+
+using core::GlobalIndex;
+
+class Distribution {
+ public:
+  /// DISTRIBUTE d(BLOCK)
+  static Distribution block(sim::Comm& comm, GlobalIndex n) {
+    std::vector<int> map(static_cast<size_t>(n));
+    part::BlockLayout l(n > 0 ? n : 1, comm.size());
+    for (GlobalIndex g = 0; g < n; ++g)
+      map[static_cast<size_t>(g)] = l.owner(g);
+    return Distribution(comm, map);
+  }
+
+  /// DISTRIBUTE d(CYCLIC)
+  static Distribution cyclic(sim::Comm& comm, GlobalIndex n) {
+    std::vector<int> map(static_cast<size_t>(n));
+    part::CyclicLayout l(n, comm.size());
+    for (GlobalIndex g = 0; g < n; ++g)
+      map[static_cast<size_t>(g)] = l.owner(g);
+    return Distribution(comm, map);
+  }
+
+  /// DISTRIBUTE d(map): irregular distribution from a maparray (map[g] =
+  /// owning processor), e.g. as produced by a partitioner. The map must be
+  /// identical on every rank.
+  static Distribution irregular(sim::Comm& comm, std::span<const int> map) {
+    return Distribution(comm, std::vector<int>(map.begin(), map.end()));
+  }
+
+  GlobalIndex global_size() const { return table_.global_size(); }
+  const core::TranslationTable& table() const { return table_; }
+
+  GlobalIndex owned_count(int rank) const { return table_.owned_count(rank); }
+
+  /// Global ids owned by `rank`, in local-offset order.
+  std::vector<GlobalIndex> owned_globals(int rank) const {
+    return table_.owned_globals(rank);
+  }
+
+  /// Monotone id distinguishing distribution epochs, for inspector-cache
+  /// invalidation (every constructed Distribution gets a fresh id).
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  Distribution(sim::Comm& comm, const std::vector<int>& map)
+      : table_(core::TranslationTable::from_full_map(comm, map)),
+        epoch_(next_epoch()) {}
+
+  static std::uint64_t next_epoch() {
+    // Thread-safe: each rank constructs its own Distribution objects, and
+    // epochs only need to be unique within a rank (caches are per-rank).
+    thread_local std::uint64_t counter = 0;
+    return ++counter;
+  }
+
+  core::TranslationTable table_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace chaos::lang

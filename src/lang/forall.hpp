@@ -1,0 +1,87 @@
+// FORALL + REDUCE intrinsics (paper §5.2): the executor templates the
+// Fortran 90D compiler would emit for the two irregular loop patterns the
+// paper compiles.
+//
+// Pattern 1 — REDUCE(SUM, x(ind(j)), expr):   forall_reduce_sum
+//   Lowering: inspector (cached via InspectorCache) -> gather read-array
+//   ghosts -> run the loop body against local indices -> scatter_add the
+//   reduction array's ghost contributions back to their owners.
+//
+// Pattern 2 — REDUCE(APPEND, rows(ind(j)), item):   reduce_append
+//   Lowering: the append target is placement-order independent, so the
+//   compiler emits light-weight schedule calls: map each item's destination
+//   row to its owning processor (replicated distribution lookup — no
+//   inspector), build a LightweightSchedule, scatter_append.
+//   `recompute_row_sizes` is the extra loop the compiler generates to
+//   recover per-row counts (Figure 11 L2/L3) — the communication the
+//   hand-written version avoids because CHAOS's migration primitive
+//   returns counts directly (paper §5.3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/lightweight.hpp"
+#include "core/transport.hpp"
+#include "lang/distributed_array.hpp"
+#include "lang/inspector_cache.hpp"
+
+namespace chaos::lang {
+
+/// Executes: forall j in [0, ind.size()): REDUCE(SUM, acc[ind[j]],
+/// body(j, localized_ind)). The body receives the localized indirection
+/// array and must add its contributions into `acc` (and may read gathered
+/// ghost values from `data`). `data` is gathered before the body runs;
+/// `acc`'s ghost contributions are scattered back and summed after.
+template <typename TData, typename TAcc, typename Body>
+void forall_reduce_sum(sim::Comm& comm, InspectorCache& cache,
+                       const Distribution& dist, const IndirectionArray& ind,
+                       DistributedArray<TData>& data,
+                       DistributedArray<TAcc>& acc, Body&& body) {
+  const LoopPlan& plan = cache.plan(comm, dist, ind);
+  data.ensure_extent(plan.local_extent);
+  acc.ensure_extent(plan.local_extent);
+
+  core::gather<TData>(comm, plan.schedule, data.local());
+
+  // Ghost accumulators start from zero each execution.
+  for (GlobalIndex i = acc.owned(); i < plan.local_extent; ++i)
+    acc[i] = TAcc{};
+
+  body(std::span<const GlobalIndex>(plan.local_refs));
+
+  core::scatter_add<TAcc>(comm, plan.schedule, acc.local());
+}
+
+/// REDUCE(APPEND, ...) lowering: move `items` to the processors owning
+/// their destination rows (`dest_rows[i]` is the global row id of item i
+/// under `rows_dist`) and append arrivals to `out`. Returns nothing else —
+/// per-row counts must be recomputed separately, which is exactly what the
+/// compiler-generated DSMC code does (see recompute_row_sizes).
+template <typename T>
+void reduce_append(sim::Comm& comm, const Distribution& rows_dist,
+                   std::span<const GlobalIndex> dest_rows,
+                   std::span<const T> items, std::vector<T>& out) {
+  CHAOS_CHECK(dest_rows.size() == items.size(),
+              "one destination row per item");
+  std::vector<int> dest_proc(dest_rows.size());
+  for (std::size_t i = 0; i < dest_rows.size(); ++i)
+    dest_proc[i] = rows_dist.table().lookup_local(dest_rows[i]).proc;
+  comm.charge_work(static_cast<double>(dest_rows.size()) *
+                   core::costs::kTranslateLocal);
+
+  auto sched = core::LightweightSchedule::build(comm, dest_proc);
+  core::scatter_append<T>(comm, sched, items, out);
+}
+
+/// The compiler-generated size-recovery loop (Figure 11, loops L2+L3):
+/// new_size(icell(i,j)) += 1, parallelized as an irregular scatter_add over
+/// the rows distribution. Because the destination pattern changes every
+/// step, the inspector runs every call — this is the extra preprocessing
+/// and communication that makes the compiled DSMC slower than the manual
+/// version in Table 7.
+std::vector<GlobalIndex> recompute_row_sizes(
+    sim::Comm& comm, const Distribution& rows_dist,
+    std::span<const GlobalIndex> dest_rows);
+
+}  // namespace chaos::lang

@@ -1,0 +1,41 @@
+#include "lang/inspector_cache.hpp"
+
+namespace chaos::lang {
+
+const LoopPlan& InspectorCache::plan(sim::Comm& comm, const Distribution& dist,
+                                     const IndirectionArray& ind) {
+  // Distribution change invalidates everything bound to the old epoch.
+  if (!hash_ || epoch_ != dist.epoch()) {
+    epoch_ = dist.epoch();
+    hash_ = std::make_unique<core::IndexHashTable>(
+        dist.owned_count(comm.rank()));
+    loops_.clear();
+  }
+
+  CachedLoop& entry = loops_[ind.id()];
+  const bool stale_here = entry.version != ind.version();
+
+  // The modification-record check the compiler emits: one rank's change
+  // forces every rank into the (collective) inspector. This small allreduce
+  // is the price of automatic reuse detection.
+  const int stale_anywhere = comm.allreduce_max(stale_here ? 1 : 0);
+  if (stale_anywhere == 0) {
+    ++stats_.reuses;
+    return entry.plan;
+  }
+  ++stats_.builds;
+
+  // Clear the loop's previous stamp (if any) so the recycled bit marks the
+  // regenerated indirection array, exactly as the paper's CHARMM flow does.
+  if (entry.plan.stamp != 0) hash_->clear_stamp(entry.plan.stamp);
+
+  entry.plan.local_refs.assign(ind.values().begin(), ind.values().end());
+  entry.plan.stamp = hash_->hash(comm, dist.table(), entry.plan.local_refs);
+  entry.plan.schedule =
+      core::build_schedule(comm, *hash_, core::StampExpr::only(entry.plan.stamp));
+  entry.plan.local_extent = hash_->local_extent();
+  entry.version = ind.version();
+  return entry.plan;
+}
+
+}  // namespace chaos::lang

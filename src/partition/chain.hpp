@@ -1,0 +1,31 @@
+// 1-D chain partitioner (Nicol & O'Hallaron style): split an ordered
+// sequence of weighted elements into `nparts` contiguous blocks minimizing
+// the bottleneck (maximum block load).
+//
+// The paper (§4.2.1) uses this for DSMC: particle flow is strongly
+// directional, so a 1-D partition along the flow axis balances load at a
+// tiny fraction of the cost of recursive bisection — this is what makes the
+// chain partitioner win Table 5 at high processor counts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace chaos::part {
+
+/// Returns nparts+1 boundaries b with b[0]=0, b[nparts]=n; block p owns
+/// [b[p], b[p+1]). The bottleneck max-block-load is minimized to within
+/// floating-point tolerance (probe-based binary search). Empty blocks are
+/// produced when nparts > n or when weights force them.
+std::vector<std::size_t> chain_partition(std::span<const double> weights,
+                                         int nparts);
+
+/// Max block load of a given boundary vector.
+double chain_bottleneck(std::span<const double> weights,
+                        std::span<const std::size_t> boundaries);
+
+/// Estimated sequential work (abstract units) of one chain partitioner run:
+/// linear prefix scan plus a logarithmic number of probes.
+double chain_work_units(std::size_t n, int nparts);
+
+}  // namespace chaos::part

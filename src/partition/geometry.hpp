@@ -1,0 +1,29 @@
+// Minimal 3-D geometry used by the spatial partitioners. 2-D problems set
+// z = 0 and everything degenerates correctly.
+#pragma once
+
+#include <cmath>
+
+namespace chaos::part {
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double& operator[](int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+  double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  Point3 operator+(const Point3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Point3 operator-(const Point3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Point3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double dot(const Point3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+};
+
+using Vec3 = Point3;
+
+}  // namespace chaos::part

@@ -1,0 +1,106 @@
+// Closed-form regular array layouts: the Fortran D / HPF BLOCK and CYCLIC
+// distributions. These need no translation table — ownership and local
+// offsets are arithmetic — and serve as the initial distribution from which
+// irregular remapping starts (paper §5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace chaos::part {
+
+using GlobalIndex = std::int64_t;
+
+/// BLOCK: contiguous chunks of ceil(n/p) elements ("block size"), the last
+/// processor possibly short. Matches HPF's DISTRIBUTE (BLOCK).
+class BlockLayout {
+ public:
+  BlockLayout(GlobalIndex global_size, int nparts)
+      : n_(global_size), p_(nparts) {
+    CHAOS_CHECK(global_size >= 0);
+    CHAOS_CHECK(nparts >= 1);
+    block_ = (n_ + p_ - 1) / p_;  // ceil
+    if (block_ == 0) block_ = 1;
+  }
+
+  GlobalIndex global_size() const { return n_; }
+  int nparts() const { return p_; }
+  GlobalIndex block_size() const { return block_; }
+
+  int owner(GlobalIndex g) const {
+    CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+    return static_cast<int>(g / block_);
+  }
+
+  GlobalIndex local_offset(GlobalIndex g) const {
+    CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+    return g % block_;
+  }
+
+  /// First global index owned by part `p` (== n_ if p owns nothing).
+  GlobalIndex first(int p) const {
+    CHAOS_CHECK(p >= 0 && p < p_);
+    GlobalIndex f = static_cast<GlobalIndex>(p) * block_;
+    return f < n_ ? f : n_;
+  }
+
+  GlobalIndex size_of(int p) const {
+    CHAOS_CHECK(p >= 0 && p < p_);
+    const GlobalIndex lo = first(p);
+    const GlobalIndex hi =
+        p + 1 < p_ ? first(p + 1) : n_;
+    return hi - lo;
+  }
+
+  GlobalIndex to_global(int p, GlobalIndex local) const {
+    CHAOS_CHECK(local >= 0 && local < size_of(p), "local offset out of range");
+    return first(p) + local;
+  }
+
+ private:
+  GlobalIndex n_;
+  int p_;
+  GlobalIndex block_;
+};
+
+/// CYCLIC: element g lives on processor g mod p at offset g / p. Matches
+/// HPF's DISTRIBUTE (CYCLIC).
+class CyclicLayout {
+ public:
+  CyclicLayout(GlobalIndex global_size, int nparts)
+      : n_(global_size), p_(nparts) {
+    CHAOS_CHECK(global_size >= 0);
+    CHAOS_CHECK(nparts >= 1);
+  }
+
+  GlobalIndex global_size() const { return n_; }
+  int nparts() const { return p_; }
+
+  int owner(GlobalIndex g) const {
+    CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+    return static_cast<int>(g % p_);
+  }
+
+  GlobalIndex local_offset(GlobalIndex g) const {
+    CHAOS_CHECK(g >= 0 && g < n_, "global index out of range");
+    return g / p_;
+  }
+
+  GlobalIndex size_of(int p) const {
+    CHAOS_CHECK(p >= 0 && p < p_);
+    if (n_ == 0) return 0;
+    return (n_ - 1 - p) >= 0 ? (n_ - 1 - p) / p_ + 1 : 0;
+  }
+
+  GlobalIndex to_global(int p, GlobalIndex local) const {
+    CHAOS_CHECK(local >= 0 && local < size_of(p), "local offset out of range");
+    return local * p_ + p;
+  }
+
+ private:
+  GlobalIndex n_;
+  int p_;
+};
+
+}  // namespace chaos::part

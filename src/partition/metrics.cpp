@@ -1,0 +1,41 @@
+#include "partition/metrics.hpp"
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace chaos::part {
+
+std::vector<double> part_loads(std::span<const int> assignment,
+                               std::span<const double> weights, int nparts) {
+  CHAOS_CHECK(nparts >= 1);
+  CHAOS_CHECK(weights.empty() || weights.size() == assignment.size());
+  std::vector<double> loads(static_cast<std::size_t>(nparts), 0.0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int p = assignment[i];
+    CHAOS_CHECK(p >= 0 && p < nparts, "assignment out of range");
+    loads[static_cast<std::size_t>(p)] += weights.empty() ? 1.0 : weights[i];
+  }
+  return loads;
+}
+
+double partition_load_balance(std::span<const int> assignment,
+                              std::span<const double> weights, int nparts) {
+  const std::vector<double> loads = part_loads(assignment, weights, nparts);
+  return load_balance_index(loads);
+}
+
+std::size_t cut_edges(std::span<const int> assignment,
+                      std::span<const std::pair<std::int64_t, std::int64_t>>
+                          edges) {
+  std::size_t cut = 0;
+  for (const auto& [a, b] : edges) {
+    CHAOS_CHECK(a >= 0 && static_cast<std::size_t>(a) < assignment.size());
+    CHAOS_CHECK(b >= 0 && static_cast<std::size_t>(b) < assignment.size());
+    if (assignment[static_cast<std::size_t>(a)] !=
+        assignment[static_cast<std::size_t>(b)])
+      ++cut;
+  }
+  return cut;
+}
+
+}  // namespace chaos::part

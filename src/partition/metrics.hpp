@@ -1,0 +1,27 @@
+// Partition-quality metrics: load balance and estimated communication
+// volume, matching the quantities the paper optimizes (§1, §4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace chaos::part {
+
+/// Per-part total weight. `assignment[i]` in [0, nparts).
+std::vector<double> part_loads(std::span<const int> assignment,
+                               std::span<const double> weights, int nparts);
+
+/// The paper's load-balance index over part loads: max*n/sum (1.0 perfect).
+double partition_load_balance(std::span<const int> assignment,
+                              std::span<const double> weights, int nparts);
+
+/// Number of interaction edges (pairs of element ids) whose endpoints lie in
+/// different parts — a proxy for communication volume after software
+/// caching.
+std::size_t cut_edges(std::span<const int> assignment,
+                      std::span<const std::pair<std::int64_t, std::int64_t>>
+                          edges);
+
+}  // namespace chaos::part

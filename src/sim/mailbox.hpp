@@ -1,0 +1,68 @@
+// Per-rank mailbox: a thread-safe queue with (source, tag) matching.
+//
+// Receivers block until a matching message is present. Matching is by exact
+// (src, tag) pair — the CHAOS runtime always knows who it is waiting for
+// (schedules carry per-processor send/fetch sizes), so wildcard receives are
+// unnecessary and their nondeterminism is deliberately not offered.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "sim/message.hpp"
+#include "util/check.hpp"
+
+namespace chaos::sim {
+
+/// Thrown in secondary ranks when the machine aborts because another rank
+/// raised an error; Machine::run reports the primary error instead.
+class Aborted : public Error {
+ public:
+  Aborted() : Error("rank aborted: another rank raised an error") {}
+};
+
+class Mailbox {
+ public:
+  void push(Message m) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      q_.push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message with exactly this (src, tag) arrives, removes it
+  /// from the queue, and returns it. Throws Aborted if the machine fails.
+  Message pop(int src, int tag, const std::atomic<bool>& aborted) {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) throw Aborted{};
+      for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Message m = std::move(*it);
+          q_.erase(it);
+          return m;
+        }
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  /// Wakes any blocked receiver so it can observe the abort flag.
+  void notify_abort() { cv_.notify_all(); }
+
+  /// Number of queued (unreceived) messages; used by tests.
+  std::size_t pending() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace chaos::sim

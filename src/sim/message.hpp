@@ -1,0 +1,19 @@
+// In-memory message representation for the simulated machine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chaos::sim {
+
+/// A point-to-point message in flight. `arrival` is the virtual time at
+/// which the payload becomes available at the receiver (sender departure
+/// time plus modeled transfer time).
+struct Message {
+  int src = -1;
+  int tag = 0;
+  double arrival = 0.0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace chaos::sim

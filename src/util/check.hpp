@@ -1,0 +1,51 @@
+// Precondition / invariant checking for the CHAOS++ library.
+//
+// All public entry points validate their arguments with CHAOS_CHECK, which
+// throws chaos::Error on violation (Core Guidelines I.6: prefer expressing
+// preconditions; E.x: use exceptions for error handling). Internal
+// consistency checks that should be unreachable use CHAOS_ASSERT, which is
+// compiled out in release builds only if CHAOS_NO_INTERNAL_CHECKS is set.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chaos {
+
+/// Exception type thrown on any violated precondition or runtime failure
+/// inside the CHAOS++ runtime.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHAOS check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace chaos
+
+/// Validate a caller-facing precondition; throws chaos::Error with context.
+#define CHAOS_CHECK(expr, ...)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::chaos::detail::raise_check_failure(#expr, __FILE__, __LINE__,     \
+                                           ::std::string{"" __VA_ARGS__}); \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant; identical behaviour to CHAOS_CHECK but signals a bug
+/// in the library rather than misuse by the caller.
+#ifndef CHAOS_NO_INTERNAL_CHECKS
+#define CHAOS_ASSERT(expr, ...) CHAOS_CHECK(expr, ##__VA_ARGS__)
+#else
+#define CHAOS_ASSERT(expr, ...) ((void)0)
+#endif

@@ -1,0 +1,42 @@
+// Small statistics helpers shared by benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace chaos {
+
+/// Arithmetic mean of a non-empty range.
+inline double mean(std::span<const double> xs) {
+  CHAOS_CHECK(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double max_of(std::span<const double> xs) {
+  CHAOS_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+inline double min_of(std::span<const double> xs) {
+  CHAOS_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+/// The paper's load-balance index (Section 4.1.1):
+///   LB = max_i(t_i) * n / sum_i(t_i)
+/// 1.0 is perfect balance; larger is worse.
+inline double load_balance_index(std::span<const double> per_proc_time) {
+  CHAOS_CHECK(!per_proc_time.empty());
+  const double total =
+      std::accumulate(per_proc_time.begin(), per_proc_time.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  return max_of(per_proc_time) * static_cast<double>(per_proc_time.size()) /
+         total;
+}
+
+}  // namespace chaos

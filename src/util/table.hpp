@@ -1,0 +1,80 @@
+// Plain-text table printer used by the bench harnesses to render rows in the
+// same layout as the paper's tables (rows of labelled numbers, columns per
+// processor count).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace chaos {
+
+/// Accumulates rows of cells, then prints with aligned columns. Cells are
+/// strings so callers control numeric formatting via Table::num().
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Formats a double with fixed precision (default matches the paper's
+  /// two-decimal style).
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  Table& header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+      if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    os << "\n== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << (i == 0 ? "" : "  ");
+        // Left-align the first (label) column, right-align numbers.
+        if (i == 0)
+          os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+        else
+          os << std::right << std::setw(static_cast<int>(widths[i]))
+             << cells[i];
+      }
+      os << "\n";
+    };
+    if (!header_.empty()) {
+      emit(header_);
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i == 0 ? 0 : 2);
+      os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_) emit(r);
+    os.flush();
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chaos

@@ -1,0 +1,165 @@
+// Translation table tests: replicated vs distributed agreement, offset
+// conventions, lookups, and error handling.
+#include <gtest/gtest.h>
+
+#include "core/translation_table.hpp"
+#include "util/rng.hpp"
+
+namespace chaos::core {
+namespace {
+
+using sim::Comm;
+using sim::Machine;
+
+// Slice a full map into rank r's BLOCK page.
+std::vector<int> page_of(const std::vector<int>& full, int rank, int P) {
+  part::BlockLayout pages(static_cast<GlobalIndex>(full.size()), P);
+  std::vector<int> out;
+  for (GlobalIndex g = pages.first(rank);
+       g < pages.first(rank) + pages.size_of(rank); ++g)
+    out.push_back(full[static_cast<size_t>(g)]);
+  return out;
+}
+
+TEST(TranslationTable, ReplicatedAssignsOffsetsInGlobalOrder) {
+  Machine m(2);
+  m.run([](Comm& c) {
+    // map: elements 0,2,4 -> proc 0; 1,3,5 -> proc 1
+    std::vector<int> full{0, 1, 0, 1, 0, 1};
+    auto t = TranslationTable::from_full_map(c, full);
+    EXPECT_EQ(t.lookup_local(0), (Home{0, 0}));
+    EXPECT_EQ(t.lookup_local(2), (Home{0, 1}));
+    EXPECT_EQ(t.lookup_local(4), (Home{0, 2}));
+    EXPECT_EQ(t.lookup_local(1), (Home{1, 0}));
+    EXPECT_EQ(t.lookup_local(5), (Home{1, 2}));
+    EXPECT_EQ(t.owned_count(0), 3);
+    EXPECT_EQ(t.owned_count(1), 3);
+  });
+}
+
+TEST(TranslationTable, BuildReplicatedFromSlices) {
+  Machine m(3);
+  m.run([](Comm& c) {
+    std::vector<int> full{2, 2, 1, 0, 1, 0, 2, 1, 0};
+    auto slice = page_of(full, c.rank(), c.size());
+    auto t = TranslationTable::build_replicated(c, slice);
+    EXPECT_EQ(t.global_size(), 9);
+    for (GlobalIndex g = 0; g < 9; ++g)
+      EXPECT_EQ(t.lookup_local(g).proc, full[static_cast<size_t>(g)]);
+    EXPECT_EQ(t.owned_count(0), 3);
+    EXPECT_EQ(t.owned_count(1), 3);
+    EXPECT_EQ(t.owned_count(2), 3);
+  });
+}
+
+TEST(TranslationTable, OwnedGlobalsMatchOffsets) {
+  Machine m(2);
+  m.run([](Comm& c) {
+    std::vector<int> full{1, 0, 0, 1, 0};
+    auto t = TranslationTable::from_full_map(c, full);
+    auto mine = t.owned_globals(c.rank());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(t.lookup_local(mine[i]).proc, c.rank());
+      EXPECT_EQ(t.lookup_local(mine[i]).offset,
+                static_cast<GlobalIndex>(i));
+    }
+  });
+}
+
+TEST(TranslationTable, DistributedAgreesWithReplicated) {
+  const int P = 4;
+  Machine m(P);
+  m.run([&](Comm& c) {
+    Rng rng(99);
+    std::vector<int> full(37);
+    for (auto& p : full) p = static_cast<int>(rng.below(P));
+    auto slice = page_of(full, c.rank(), P);
+    auto repl = TranslationTable::from_full_map(c, full);
+    auto dist = TranslationTable::build_distributed(c, slice);
+
+    EXPECT_EQ(dist.global_size(), repl.global_size());
+    for (int p = 0; p < P; ++p)
+      EXPECT_EQ(dist.owned_count(p), repl.owned_count(p));
+
+    // Every rank queries a scattered batch; answers must agree.
+    std::vector<GlobalIndex> queries;
+    for (GlobalIndex g = c.rank(); g < 37; g += 3) queries.push_back(g);
+    auto from_dist = dist.lookup(c, queries);
+    auto from_repl = repl.lookup(c, queries);
+    ASSERT_EQ(from_dist.size(), from_repl.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      EXPECT_EQ(from_dist[i], from_repl[i]) << "g=" << queries[i];
+  });
+}
+
+TEST(TranslationTable, DistributedLookupWithEmptyBatches) {
+  Machine m(3);
+  m.run([](Comm& c) {
+    std::vector<int> full{0, 1, 2, 0, 1, 2};
+    auto slice = page_of(full, c.rank(), c.size());
+    auto dist = TranslationTable::build_distributed(c, slice);
+    // Only rank 0 queries; others pass empty batches but still participate.
+    std::vector<GlobalIndex> queries;
+    if (c.rank() == 0) queries = {5, 0, 3};
+    auto homes = dist.lookup(c, queries);
+    if (c.rank() == 0) {
+      ASSERT_EQ(homes.size(), 3u);
+      EXPECT_EQ(homes[0], (Home{2, 1}));
+      EXPECT_EQ(homes[1], (Home{0, 0}));
+      EXPECT_EQ(homes[2], (Home{0, 1}));
+    }
+  });
+}
+
+TEST(TranslationTable, LookupRejectsOutOfRange) {
+  Machine m(1);
+  m.run([](Comm& c) {
+    std::vector<int> full{0, 0};
+    auto t = TranslationTable::from_full_map(c, full);
+    EXPECT_THROW(t.lookup_local(2), Error);
+    EXPECT_THROW(t.lookup_local(-1), Error);
+  });
+}
+
+TEST(TranslationTable, RejectsInvalidProcInMap) {
+  Machine m(2);
+  EXPECT_THROW(m.run([](Comm& c) {
+                 std::vector<int> full{0, 5};  // proc 5 on a 2-rank machine
+                 TranslationTable::from_full_map(c, full);
+               }),
+               Error);
+}
+
+TEST(TranslationTable, LargeRandomMapRoundTrip) {
+  const int P = 8;
+  Machine m(P);
+  m.run([&](Comm& c) {
+    Rng rng(7);
+    std::vector<int> full(10000);
+    for (auto& p : full) p = static_cast<int>(rng.below(P));
+    auto t = TranslationTable::from_full_map(c, full);
+    // Owned counts sum to the global size.
+    GlobalIndex total = 0;
+    for (int p = 0; p < P; ++p) total += t.owned_count(p);
+    EXPECT_EQ(total, 10000);
+    // Offsets are dense per processor: the set of offsets for proc k is
+    // exactly [0, owned_count(k)).
+    if (c.rank() == 0) {
+      std::vector<std::vector<bool>> seen(P);
+      for (int p = 0; p < P; ++p)
+        seen[static_cast<size_t>(p)].assign(
+            static_cast<size_t>(t.owned_count(p)), false);
+      for (GlobalIndex g = 0; g < 10000; ++g) {
+        const Home h = t.lookup_local(g);
+        ASSERT_LT(h.offset, t.owned_count(h.proc));
+        ASSERT_FALSE(
+            seen[static_cast<size_t>(h.proc)][static_cast<size_t>(h.offset)]);
+        seen[static_cast<size_t>(h.proc)][static_cast<size_t>(h.offset)] =
+            true;
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace chaos::core

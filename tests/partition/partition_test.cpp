@@ -1,0 +1,331 @@
+// Tests for regular layouts and the three spatial/1-D partitioners.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "partition/bisection.hpp"
+#include "partition/chain.hpp"
+#include "partition/layout.hpp"
+#include "partition/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace chaos::part {
+namespace {
+
+// ---- BlockLayout -------------------------------------------------------
+
+TEST(BlockLayout, PartitionsCoverAllIndices) {
+  BlockLayout l(100, 7);
+  GlobalIndex covered = 0;
+  for (int p = 0; p < 7; ++p) covered += l.size_of(p);
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(BlockLayout, OwnerAndOffsetConsistent) {
+  BlockLayout l(103, 8);
+  for (GlobalIndex g = 0; g < 103; ++g) {
+    const int p = l.owner(g);
+    EXPECT_EQ(l.to_global(p, l.local_offset(g)), g);
+  }
+}
+
+TEST(BlockLayout, EvenDivision) {
+  BlockLayout l(64, 8);
+  for (int p = 0; p < 8; ++p) EXPECT_EQ(l.size_of(p), 8);
+  EXPECT_EQ(l.owner(0), 0);
+  EXPECT_EQ(l.owner(63), 7);
+}
+
+TEST(BlockLayout, MorePartsThanElements) {
+  BlockLayout l(3, 8);
+  GlobalIndex covered = 0;
+  for (int p = 0; p < 8; ++p) covered += l.size_of(p);
+  EXPECT_EQ(covered, 3);
+  EXPECT_EQ(l.owner(2), 2);
+}
+
+TEST(BlockLayout, RejectsOutOfRange) {
+  BlockLayout l(10, 2);
+  EXPECT_THROW(l.owner(10), Error);
+  EXPECT_THROW(l.owner(-1), Error);
+}
+
+// ---- CyclicLayout --------------------------------------------------------
+
+TEST(CyclicLayout, RoundRobinOwnership) {
+  CyclicLayout l(10, 3);
+  EXPECT_EQ(l.owner(0), 0);
+  EXPECT_EQ(l.owner(1), 1);
+  EXPECT_EQ(l.owner(2), 2);
+  EXPECT_EQ(l.owner(3), 0);
+  EXPECT_EQ(l.owner(9), 0);
+}
+
+TEST(CyclicLayout, SizesSumToGlobal) {
+  CyclicLayout l(11, 4);
+  GlobalIndex covered = 0;
+  for (int p = 0; p < 4; ++p) covered += l.size_of(p);
+  EXPECT_EQ(covered, 11);
+}
+
+TEST(CyclicLayout, RoundTripGlobalLocal) {
+  CyclicLayout l(29, 5);
+  for (GlobalIndex g = 0; g < 29; ++g)
+    EXPECT_EQ(l.to_global(l.owner(g), l.local_offset(g)), g);
+}
+
+// ---- RCB / RIB ---------------------------------------------------------
+
+std::vector<Point3> random_cloud(std::size_t n, Rng& rng,
+                                 double stretch_x = 1.0) {
+  std::vector<Point3> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.uniform() * stretch_x;
+    p.y = rng.uniform();
+    p.z = rng.uniform();
+  }
+  return pts;
+}
+
+TEST(Rcb, AssignsEveryPointToValidPart) {
+  Rng rng(42);
+  auto pts = random_cloud(500, rng);
+  auto a = recursive_coordinate_bisection(pts, {}, 8);
+  ASSERT_EQ(a.size(), 500u);
+  for (int p : a) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+  // All parts non-empty for a healthy cloud.
+  std::set<int> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(Rcb, UniformCloudIsWellBalanced) {
+  Rng rng(43);
+  auto pts = random_cloud(4096, rng);
+  auto a = recursive_coordinate_bisection(pts, {}, 16);
+  EXPECT_LT(partition_load_balance(a, {}, 16), 1.05);
+}
+
+TEST(Rcb, WeightedBalanceHonorsWeights) {
+  // Heavy points clustered on one side; a good weighted partition still
+  // balances total load.
+  Rng rng(44);
+  auto pts = random_cloud(2048, rng);
+  std::vector<double> w(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    w[i] = pts[i].x < 0.5 ? 10.0 : 1.0;
+  auto a = recursive_coordinate_bisection(pts, w, 8);
+  EXPECT_LT(partition_load_balance(a, w, 8), 1.10);
+}
+
+TEST(Rcb, NonPowerOfTwoParts) {
+  Rng rng(45);
+  auto pts = random_cloud(3000, rng);
+  for (int nparts : {3, 5, 6, 7, 12}) {
+    auto a = recursive_coordinate_bisection(pts, {}, nparts);
+    EXPECT_LT(partition_load_balance(a, {}, nparts), 1.10)
+        << "nparts=" << nparts;
+  }
+}
+
+TEST(Rcb, SpatialLocality) {
+  // Points in the same part should be spatially close: the mean pairwise
+  // distance within a part must be well below the global mean pairwise
+  // distance (sampled).
+  Rng rng(46);
+  auto pts = random_cloud(1000, rng);
+  const int nparts = 8;
+  auto a = recursive_coordinate_bisection(pts, {}, nparts);
+  auto sample_mean_dist = [&](auto accept) {
+    double sum = 0.0;
+    int count = 0;
+    Rng s(7);
+    while (count < 4000) {
+      const std::size_t i = s.below(pts.size());
+      const std::size_t j = s.below(pts.size());
+      if (i == j || !accept(i, j)) continue;
+      sum += (pts[i] - pts[j]).norm();
+      ++count;
+    }
+    return sum / count;
+  };
+  const double global =
+      sample_mean_dist([](std::size_t, std::size_t) { return true; });
+  const double within = sample_mean_dist(
+      [&](std::size_t i, std::size_t j) { return a[i] == a[j]; });
+  EXPECT_LT(within, 0.6 * global);
+}
+
+TEST(Rcb, SinglePartAndEmptyInput) {
+  Rng rng(47);
+  auto pts = random_cloud(10, rng);
+  auto a = recursive_coordinate_bisection(pts, {}, 1);
+  for (int p : a) EXPECT_EQ(p, 0);
+  auto empty = recursive_coordinate_bisection({}, {}, 4);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Rcb, DeterministicAcrossCalls) {
+  Rng rng(48);
+  auto pts = random_cloud(300, rng);
+  auto a = recursive_coordinate_bisection(pts, {}, 8);
+  auto b = recursive_coordinate_bisection(pts, {}, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rib, BalancesUniformCloud) {
+  Rng rng(49);
+  auto pts = random_cloud(4096, rng);
+  auto a = recursive_inertial_bisection(pts, {}, 16);
+  EXPECT_LT(partition_load_balance(a, {}, 16), 1.05);
+}
+
+TEST(Rib, SplitsAlongDominantDirection) {
+  // A cloud stretched 100x along a diagonal: the first RIB cut must
+  // separate the two diagonal halves, which axis-aligned RCB on a bounding
+  // box can also do — but RIB must produce near-perfect balance with parts
+  // forming contiguous diagonal segments.
+  Rng rng(50);
+  std::vector<Point3> pts(2000);
+  for (auto& p : pts) {
+    const double t = rng.uniform() * 100.0;
+    p.x = t + rng.normal() * 0.1;
+    p.y = t + rng.normal() * 0.1;
+    p.z = rng.normal() * 0.1;
+  }
+  auto a = recursive_inertial_bisection(pts, {}, 4);
+  EXPECT_LT(partition_load_balance(a, {}, 4), 1.05);
+  // Parts should be contiguous along the diagonal: sort by (x+y) and check
+  // the assignment sequence changes few times.
+  std::vector<std::size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return pts[i].x + pts[i].y < pts[j].x + pts[j].y;
+  });
+  int changes = 0;
+  for (std::size_t k = 0; k + 1 < order.size(); ++k)
+    if (a[order[k]] != a[order[k + 1]]) ++changes;
+  EXPECT_LE(changes, 12);  // ideally 3; allow slack for the noisy width
+}
+
+TEST(Rib, HandlesDegenerateCloud) {
+  // All points identical: must not crash, all to valid parts.
+  std::vector<Point3> pts(64, Point3{1.0, 2.0, 3.0});
+  auto a = recursive_inertial_bisection(pts, {}, 4);
+  for (int p : a) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+// ---- Chain partitioner ---------------------------------------------------
+
+TEST(Chain, UniformWeightsSplitEvenly) {
+  std::vector<double> w(100, 1.0);
+  auto b = chain_partition(w, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[4], 100u);
+  EXPECT_NEAR(chain_bottleneck(w, b), 25.0, 1e-9);
+}
+
+TEST(Chain, RespectsHeavyElement) {
+  // One element carries half the weight; the bottleneck equals its weight.
+  std::vector<double> w(10, 1.0);
+  w[4] = 9.0;
+  auto b = chain_partition(w, 3);
+  EXPECT_NEAR(chain_bottleneck(w, b), 9.0, 1e-6);
+}
+
+TEST(Chain, MatchesBruteForceOnSmallInstances) {
+  // Exhaustive check against all boundary placements for small n, k.
+  Rng rng(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 8;
+    const int k = 3;
+    std::vector<double> w(n);
+    for (auto& x : w) x = 1.0 + rng.below(9);
+    // Brute force: choose 2 cut points.
+    double best = 1e300;
+    for (std::size_t c1 = 0; c1 <= n; ++c1) {
+      for (std::size_t c2 = c1; c2 <= n; ++c2) {
+        std::vector<std::size_t> b{0, c1, c2, n};
+        best = std::min(best, chain_bottleneck(w, b));
+      }
+    }
+    auto b = chain_partition(w, k);
+    EXPECT_LE(chain_bottleneck(w, b), best * (1.0 + 1e-9))
+        << "trial " << trial;
+  }
+}
+
+TEST(Chain, EmptyAndDegenerateInputs) {
+  std::vector<double> none;
+  auto b = chain_partition(none, 3);
+  ASSERT_EQ(b.size(), 4u);
+  for (auto x : b) EXPECT_EQ(x, 0u);
+
+  std::vector<double> zeros(5, 0.0);
+  auto bz = chain_partition(zeros, 2);
+  EXPECT_EQ(bz.front(), 0u);
+  EXPECT_EQ(bz.back(), 5u);
+}
+
+TEST(Chain, MorePartsThanElements) {
+  std::vector<double> w{5.0, 1.0};
+  auto b = chain_partition(w, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_NEAR(chain_bottleneck(w, b), 5.0, 1e-9);
+}
+
+TEST(Chain, CheaperThanBisection) {
+  // The whole point of the chain partitioner (paper §4.2.1): cost must be
+  // orders of magnitude below recursive bisection for the same input size.
+  EXPECT_LT(chain_work_units(100000, 64) * 20.0,
+            bisection_work_units(100000, 64, false));
+}
+
+// ---- Metrics -------------------------------------------------------------
+
+TEST(Metrics, PartLoadsCountUniform) {
+  std::vector<int> a{0, 0, 1, 2, 2, 2};
+  auto loads = part_loads(a, {}, 3);
+  EXPECT_EQ(loads[0], 2.0);
+  EXPECT_EQ(loads[1], 1.0);
+  EXPECT_EQ(loads[2], 3.0);
+}
+
+TEST(Metrics, CutEdgesCountsCrossings) {
+  std::vector<int> a{0, 0, 1, 1};
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges{
+      {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  EXPECT_EQ(cut_edges(a, edges), 2u);
+}
+
+// ---- Property sweep over part counts ------------------------------------
+
+class BisectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BisectionSweep, BothPartitionersBalanceAndCover) {
+  const int nparts = GetParam();
+  Rng rng(1000 + nparts);
+  auto pts = random_cloud(2500, rng, 3.0);
+  std::vector<double> w(pts.size());
+  for (auto& x : w) x = 0.5 + rng.uniform();
+  for (bool inertial : {false, true}) {
+    auto a = inertial ? recursive_inertial_bisection(pts, w, nparts)
+                      : recursive_coordinate_bisection(pts, w, nparts);
+    ASSERT_EQ(a.size(), pts.size());
+    EXPECT_LT(partition_load_balance(a, w, nparts), 1.25)
+        << (inertial ? "RIB" : "RCB") << " nparts=" << nparts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, BisectionSweep,
+                         ::testing::Values(2, 3, 4, 8, 13, 16, 32));
+
+}  // namespace
+}  // namespace chaos::part

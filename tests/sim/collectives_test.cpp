@@ -1,0 +1,99 @@
+// Tests for the later-added collective variants: the hypercube all-to-all
+// used by schedule count exchanges, the unmodeled allgatherv used by the
+// partitioner drivers, and analytic comm charging.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace chaos::sim {
+namespace {
+
+TEST(HypercubeAlltoall, ExchangesPairwiseValues) {
+  for (int P : {1, 2, 3, 5, 8}) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      std::vector<long> sendbuf(static_cast<size_t>(P));
+      for (int r = 0; r < P; ++r)
+        sendbuf[static_cast<size_t>(r)] = c.rank() * 1000 + r;
+      auto got = c.alltoall_hypercube<long>(sendbuf);
+      ASSERT_EQ(got.size(), static_cast<size_t>(P));
+      for (int r = 0; r < P; ++r)
+        EXPECT_EQ(got[static_cast<size_t>(r)], r * 1000 + c.rank())
+            << "P=" << P;
+    });
+  }
+}
+
+TEST(HypercubeAlltoall, AgreesWithPointToPointAlltoall) {
+  Machine m(6);
+  m.run([](Comm& c) {
+    std::vector<int> sendbuf(6);
+    for (int r = 0; r < 6; ++r)
+      sendbuf[static_cast<size_t>(r)] = c.rank() * 7 + r * 3;
+    auto a = c.alltoall<int>(sendbuf);
+    auto b = c.alltoall_hypercube<int>(sendbuf);
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST(HypercubeAlltoall, CheaperThanDenseAtScale) {
+  // The motivation: at P=32, log(P) staged transfers must model cheaper
+  // than 31 individual messages.
+  const int P = 32;
+  auto run_mode = [&](bool hypercube) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      std::vector<std::int64_t> counts(static_cast<size_t>(P), 1);
+      for (int rep = 0; rep < 10; ++rep) {
+        if (hypercube)
+          (void)c.alltoall_hypercube<std::int64_t>(counts);
+        else
+          (void)c.alltoall<std::int64_t>(counts);
+      }
+    });
+    return m.execution_time();
+  };
+  EXPECT_LT(run_mode(true) * 2.0, run_mode(false));
+}
+
+TEST(UnmodeledAllgatherv, GathersWithoutCharges) {
+  Machine m(4);
+  m.run([](Comm& c) {
+    std::vector<int> mine(static_cast<size_t>(c.rank()) + 1, c.rank());
+    const double before = c.now();
+    auto all = c.allgatherv_unmodeled<int>(mine);
+    EXPECT_EQ(c.now(), before);  // free by contract
+    ASSERT_EQ(all.size(), 1u + 2 + 3 + 4);
+    EXPECT_EQ(all.front(), 0);
+    EXPECT_EQ(all.back(), 3);
+  });
+}
+
+TEST(ChargeCommSeconds, AdvancesClockIntoCommBucket) {
+  Machine m(1);
+  m.run([](Comm& c) {
+    c.charge_comm_seconds(0.25);
+    EXPECT_NEAR(c.now(), 0.25, 1e-12);
+    EXPECT_NEAR(c.stats().comm_s, 0.25, 1e-12);
+    EXPECT_EQ(c.stats().compute_s, 0.0);
+    EXPECT_THROW(c.charge_comm_seconds(-1.0), Error);
+  });
+}
+
+TEST(FreshTag, MonotoneAndAboveUserSpace) {
+  Machine m(2);
+  m.run([](Comm& c) {
+    const int t1 = c.fresh_tag();
+    const int t2 = c.fresh_tag();
+    EXPECT_GE(t1, 1 << 20);
+    EXPECT_GT(t2, t1);
+    // Tags agree across ranks (SPMD contract): use them to communicate.
+    if (c.rank() == 0)
+      c.send_value<int>(1, t1, 99);
+    else
+      EXPECT_EQ(c.recv_value<int>(0, t1), 99);
+  });
+}
+
+}  // namespace
+}  // namespace chaos::sim

@@ -1,0 +1,78 @@
+// Direct tests of the mailbox matching queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "sim/mailbox.hpp"
+
+namespace chaos::sim {
+namespace {
+
+Message make(int src, int tag, int value) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.payload.resize(sizeof(int));
+  std::memcpy(m.payload.data(), &value, sizeof(int));
+  return m;
+}
+
+int value_of(const Message& m) {
+  int v = 0;
+  std::memcpy(&v, m.payload.data(), sizeof(int));
+  return v;
+}
+
+TEST(Mailbox, PopMatchesSrcAndTag) {
+  Mailbox mb;
+  std::atomic<bool> aborted{false};
+  mb.push(make(1, 10, 100));
+  mb.push(make(2, 10, 200));
+  mb.push(make(1, 20, 300));
+  EXPECT_EQ(value_of(mb.pop(1, 20, aborted)), 300);
+  EXPECT_EQ(value_of(mb.pop(2, 10, aborted)), 200);
+  EXPECT_EQ(value_of(mb.pop(1, 10, aborted)), 100);
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+TEST(Mailbox, FifoWithinSameSrcTag) {
+  Mailbox mb;
+  std::atomic<bool> aborted{false};
+  for (int i = 0; i < 5; ++i) mb.push(make(0, 1, i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(value_of(mb.pop(0, 1, aborted)), i);
+}
+
+TEST(Mailbox, BlockingPopWakesOnPush) {
+  Mailbox mb;
+  std::atomic<bool> aborted{false};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.push(make(3, 7, 77));
+  });
+  EXPECT_EQ(value_of(mb.pop(3, 7, aborted)), 77);
+  producer.join();
+}
+
+TEST(Mailbox, AbortUnblocksPop) {
+  Mailbox mb;
+  std::atomic<bool> aborted{false};
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    aborted.store(true);
+    mb.notify_abort();
+  });
+  EXPECT_THROW(mb.pop(0, 0, aborted), Aborted);
+  aborter.join();
+}
+
+TEST(Mailbox, PendingCountsQueued) {
+  Mailbox mb;
+  mb.push(make(0, 0, 1));
+  mb.push(make(0, 1, 2));
+  EXPECT_EQ(mb.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace chaos::sim

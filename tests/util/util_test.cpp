@@ -1,0 +1,123 @@
+// Tests for the utility layer: checks, RNG determinism, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { CHAOS_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    CHAOS_CHECK(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, NormalHasPlausibleMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Stats, MeanMaxMin) {
+  std::vector<double> v{1.0, 2.0, 6.0};
+  EXPECT_NEAR(mean(v), 3.0, 1e-12);
+  EXPECT_EQ(max_of(v), 6.0);
+  EXPECT_EQ(min_of(v), 1.0);
+}
+
+TEST(Stats, LoadBalanceIndexPerfect) {
+  std::vector<double> v{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(load_balance_index(v), 1.0, 1e-12);
+}
+
+TEST(Stats, LoadBalanceIndexSkewed) {
+  // max=4, n=4, sum=8 -> LB = 2.0
+  std::vector<double> v{4.0, 2.0, 1.0, 1.0};
+  EXPECT_NEAR(load_balance_index(v), 2.0, 1e-12);
+}
+
+TEST(Stats, LoadBalanceOfZeroWorkIsOne) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_NEAR(load_balance_index(v), 1.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Demo");
+  t.header({"Metric", "P=1", "P=2"});
+  t.row({"Time", Table::num(1.5), Table::num(0.75)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("0.75"), std::string::npos);
+}
+
+TEST(Table, NumPrecisionControl) {
+  EXPECT_EQ(Table::num(3.14159, 1), "3.1");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace chaos
