@@ -1,16 +1,17 @@
-// Figure 6 — Schedule generation with the hash table (paper §3.2.2).
+// Figure 6 — Schedule generation with the hash table (paper §3.2.2),
+// expressed as chaos::Runtime descriptor operations.
 //
 // Reproduces the paper's worked example exactly: data array y of 10
-// elements split between two processors; processor 0 hashes the three
-// indirection arrays ia, ib, ic and builds sched_A, sched_B, the
-// incremental schedule inc_schedB = B - A, and the merged schedule
-// A + B + C. Prints the elements each schedule gathers, which must match
-// the figure (1-based): sched_A -> {7,9}, sched_B -> {7,8},
-// inc_schedB -> {8}, merged -> {7,9,8,10}.
+// elements split between two processors; processor 0 inspects the three
+// indirection arrays ia, ib, ic and derives sched_A, sched_B, the
+// incremental schedule inc_schedB = B - A (rt.incremental), and the merged
+// schedule A + B + C (rt.merge). Prints the elements each schedule gathers,
+// which must match the figure (1-based): sched_A -> {7,9}, sched_B ->
+// {7,8}, inc_schedB -> {8}, merged -> {7,9,8,10}.
 #include <iostream>
 #include <sstream>
 
-#include "core/chaos.hpp"
+#include "runtime/runtime.hpp"
 
 int main() {
   using namespace chaos;
@@ -18,11 +19,12 @@ int main() {
 
   sim::Machine machine(2);
   machine.run([](sim::Comm& comm) {
+    Runtime rt(comm);
+
     // Distribution from the figure: elements 1..5 on processor 0, 6..10 on
     // processor 1 (we use 0-based indices internally).
     std::vector<int> map{0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
-    auto table = core::TranslationTable::from_full_map(comm, map);
-    core::IndexHashTable hash(table.owned_count(comm.rank()));
+    const DistHandle dist = rt.irregular(map);
 
     std::vector<GlobalIndex> ia, ib, ic;
     if (comm.rank() == 0) {
@@ -30,12 +32,13 @@ int main() {
       ib = {0, 4, 6, 7, 1};  // paper: 1,5,7,8,2
       ic = {3, 2, 9, 7, 8};  // paper: 4,3,10,8,9
     }
-    const core::Stamp a = hash.hash(comm, table, ia);
-    const core::Stamp b = hash.hash(comm, table, ib);
-    const core::Stamp c = hash.hash(comm, table, ic);
+    lang::IndirectionArray ia_arr(ia), ib_arr(ib), ic_arr(ic);
+    const ScheduleHandle a = rt.inspect(dist, ia_arr);
+    const ScheduleHandle b = rt.inspect(dist, ib_arr);
+    const ScheduleHandle c = rt.inspect(dist, ic_arr);
 
-    auto describe = [&](const char* name, core::StampExpr expr) {
-      core::Schedule s = core::build_schedule(comm, hash, expr);
+    auto describe = [&](const char* name, ScheduleHandle h) {
+      const core::Schedule& s = rt.schedule(h);
       if (comm.rank() != 1) return;  // rank 1 owns the fetched elements
       std::ostringstream os;
       os << "  " << name << " gathers elements {";
@@ -51,14 +54,14 @@ int main() {
 
     if (comm.rank() == 0)
       std::cout << "\n== Figure 6: schedule generation with the hash table =="
-                << "\n  processor 0 hashed ia, ib, ic; expected fetch sets: "
-                   "sched_A {7, 9}, sched_B {7, 8}, inc_schedB {8}, "
+                << "\n  processor 0 inspected ia, ib, ic; expected fetch "
+                   "sets: sched_A {7, 9}, sched_B {7, 8}, inc_schedB {8}, "
                    "merged {7, 9, 8, 10}\n";
     comm.barrier();
-    describe("sched_A       (stamp a)  ", core::StampExpr::only(a));
-    describe("sched_B       (stamp b)  ", core::StampExpr::only(b));
-    describe("inc_schedB    (b - a)    ", core::StampExpr::incremental(b, a));
-    describe("merged_ABC    (a + b + c)", core::StampExpr::merged({a, b, c}));
+    describe("sched_A       (stamp a)  ", a);
+    describe("sched_B       (stamp b)  ", b);
+    describe("inc_schedB    (b - a)    ", rt.incremental(b, a));
+    describe("merged_ABC    (a + b + c)", rt.merge({a, b, c}));
   });
   std::cout.flush();
   return 0;

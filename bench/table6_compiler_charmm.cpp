@@ -4,7 +4,7 @@
 // program"), 100 iterations, data arrays redistributed every 25 iterations
 // by applying RCB and RIB alternately. Compares the hand-written CHAOS
 // parallelization against the Fortran-90D-style compiler-generated path
-// (lang::InspectorCache with modification records and the mechanical
+// (chaos::Runtime's schedule registry with modification records and the mechanical
 // overheads of generated code). Columns: partition, remap, inspector,
 // executor, total.
 #include <iostream>

@@ -1,18 +1,21 @@
-// Example: adaptive inspector reuse — the paper's central mechanism.
+// Example: adaptive inspector reuse — the paper's central mechanism,
+// driven through chaos::Runtime descriptor operations.
 //
 // A two-phase computation (the paper's Figure 5) references data through
 // indirection arrays ia/ib (phase 1) and ic (phase 2). The example shows:
-//   1. merged schedules: one gather serving both phases;
-//   2. incremental schedules: phase 2 fetching only what phase 1 missed;
-//   3. adaptivity: ic changes every few iterations, its stamp is cleared
-//      and recycled, and the hash table statistics show how much index
-//      analysis was *reused* rather than redone — the reason CHAOS
-//      preprocessing stays cheap in adaptive codes.
+//   1. merged schedules: one gather serving both phases (rt.merge);
+//   2. incremental schedules: phase 2 fetching only what phase 1 missed
+//      (rt.incremental);
+//   3. adaptivity: ic changes every few iterations (its modification record
+//      bumps), re-inspection recycles its stamp, and the hash-table
+//      statistics show how much index analysis was *reused* rather than
+//      redone — the reason CHAOS preprocessing stays cheap in adaptive
+//      codes.
 //
 // Run: ./adaptive_schedules
 #include <iostream>
 
-#include "core/chaos.hpp"
+#include "runtime/runtime.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -27,11 +30,12 @@ int main() {
 
   sim::Machine machine(kRanks);
   machine.run([&](sim::Comm& comm) {
+    Runtime rt(comm);
+
     Rng map_rng(99);
     std::vector<int> map(static_cast<size_t>(kN));
     for (auto& p : map) p = static_cast<int>(map_rng.below(kRanks));
-    auto table = core::TranslationTable::from_full_map(comm, map);
-    core::IndexHashTable hash(table.owned_count(comm.rank()));
+    const DistHandle dist = rt.irregular(map);
 
     Rng rng(17 + static_cast<std::uint64_t>(comm.rank()));
     auto random_refs = [&](double mutate_fraction,
@@ -46,46 +50,41 @@ int main() {
       return refs;
     };
 
-    // Static phase-1 arrays.
-    std::vector<GlobalIndex> ia = random_refs(1.0, nullptr);
-    std::vector<GlobalIndex> ib = random_refs(1.0, nullptr);
-    std::vector<GlobalIndex> ia_g = ia, ib_g = ib;
-    const core::Stamp sa = hash.hash(comm, table, ia);
-    const core::Stamp sb = hash.hash(comm, table, ib);
-
-    // Adaptive phase-2 array (10% of entries change per adaptation).
+    // Static phase-1 arrays and the adaptive phase-2 array (10% of whose
+    // entries change per adaptation).
+    lang::IndirectionArray ia(random_refs(1.0, nullptr));
+    lang::IndirectionArray ib(random_refs(1.0, nullptr));
     std::vector<GlobalIndex> ic_global = random_refs(1.0, nullptr);
-    std::vector<GlobalIndex> ic = ic_global;
-    core::Stamp sc = hash.hash(comm, table, ic);
+    lang::IndirectionArray ic(ic_global);
 
-    core::Schedule merged =
-        core::build_schedule(comm, hash, core::StampExpr::merged({sa, sb}));
-    core::Schedule inc_c =
-        core::build_schedule(comm, hash,
-                             core::StampExpr::incremental(sc, sa | sb));
+    const ScheduleHandle ha = rt.inspect(dist, ia);
+    const ScheduleHandle hb = rt.inspect(dist, ib);
+    ScheduleHandle hc = rt.inspect(dist, ic);
+
+    const ScheduleHandle merged = rt.merge({ha, hb});
+    ScheduleHandle inc_c = rt.incremental(hc, merged);
     if (comm.rank() == 0) {
       std::cout << "adaptive_schedules: " << kN << " elements, " << kRanks
                 << " ranks, " << kRefs << " refs per array\n\n"
                 << "  phase 1 (ia+ib merged) fetches  "
-                << merged.recv_total(0) << " ghosts on rank 0\n"
+                << rt.schedule(merged).recv_total(0) << " ghosts on rank 0\n"
                 << "  phase 2 (ic incremental) fetches "
-                << inc_c.recv_total(0)
+                << rt.schedule(inc_c).recv_total(0)
                 << " more — only what phase 1 missed\n\n";
     }
 
-    // Adaptation loop: ic changes, its stamp is recycled, schedules are
-    // regenerated; the hash table reuses the unchanged entries.
+    // Adaptation loop: ic changes, its modification record forces a
+    // re-inspection (stamp recycled), the incremental schedule is
+    // re-derived; the shared hash table reuses the unchanged entries.
     Table t("Inspector reuse across adaptations (rank 0)");
     t.header({"Adaptation", "Hash hits", "Inserts", "Translations"});
     for (int a = 0; a < kAdaptations; ++a) {
-      const auto before = hash.stats();
-      hash.clear_stamp(sc);
+      const auto before = rt.hash_stats(dist);
       ic_global = random_refs(0.10, &ic_global);
-      ic = ic_global;
-      sc = hash.hash(comm, table, ic);
-      inc_c = core::build_schedule(
-          comm, hash, core::StampExpr::incremental(sc, sa | sb));
-      const auto after = hash.stats();
+      ic.assign(std::vector<GlobalIndex>(ic_global));
+      hc = rt.inspect(dist, ic);
+      inc_c = rt.incremental(hc, merged);
+      const auto after = rt.hash_stats(dist);
       if (comm.rank() == 0)
         t.row({std::to_string(a + 1),
                std::to_string(after.hits - before.hits),
@@ -94,7 +93,10 @@ int main() {
     }
     if (comm.rank() == 0) {
       t.print();
-      std::cout << "\nMost re-hashed indices are hits: their translation and\n"
+      const auto reg = rt.registry_stats(dist);
+      std::cout << "\nRegistry: " << reg.builds << " inspector builds, "
+                << reg.reuses << " reuses.\n"
+                << "Most re-hashed indices are hits: their translation and\n"
                    "ghost slots are reused, so schedule regeneration costs a\n"
                    "fraction of the initial inspector run (paper §3.2.2).\n";
     }

@@ -4,7 +4,8 @@
 // Simulates a small synthetic molecular system for a few hundred steps with
 // periodic non-bonded list regeneration, printing the per-phase costs the
 // runtime spends — the same breakdown as the paper's Table 2 — and the
-// final load balance.
+// final load balance. The parallel driver underneath runs entirely on
+// chaos::Runtime handles (src/apps/charmm/parallel.cpp).
 //
 // Run: ./molecular_dynamics [ranks] [atoms]
 #include <cstdlib>

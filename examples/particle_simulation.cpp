@@ -5,6 +5,8 @@
 //
 // Prints a short time series showing the load balance deteriorating under
 // the drift and recovering at each remap — the Table 5 mechanism, live.
+// The parallel driver underneath runs entirely on chaos::Runtime handles
+// (src/apps/dsmc/parallel.cpp).
 //
 // Run: ./particle_simulation [ranks]
 #include <cstdlib>

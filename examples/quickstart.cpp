@@ -1,20 +1,21 @@
 // Quickstart: the paper's Figure 1 irregular loop, parallelized end to end
-// with the CHAOS++ runtime.
+// through the chaos::Runtime facade.
 //
 //   do i = 1, n
 //     x(ia(i)) = x(ia(i)) + y(ib(i))
 //   end do
 //
-// Walks the six runtime phases: partition the data (irregularly), build the
-// translation table, localize the indirection arrays through the inspector
-// hash table, build one communication schedule, then run the executor —
-// gather y ghosts, compute, scatter-add x contributions back.
+// Walks the six runtime phases as descriptor operations on one Runtime:
+// adopt an irregular distribution (DistHandle), bind + inspect the two
+// indirection arrays (LoopHandle -> localized refs), merge their schedules
+// (ScheduleHandle), then run the executor — gather y ghosts, compute,
+// scatter-add x contributions back.
 //
 // Run: ./quickstart
 #include <iostream>
 #include <numeric>
 
-#include "core/chaos.hpp"
+#include "runtime/runtime.hpp"
 #include "util/rng.hpp"
 
 int main() {
@@ -27,20 +28,20 @@ int main() {
 
   sim::Machine machine(kRanks);
   machine.run([&](sim::Comm& comm) {
+    Runtime rt(comm);
+
     // Phase A: an irregular distribution (here: a simple scattered map any
     // partitioner could have produced).
     std::vector<int> map(kN);
     for (GlobalIndex g = 0; g < kN; ++g)
       map[static_cast<size_t>(g)] = static_cast<int>((g * 7 + 3) % kRanks);
-    auto table = core::TranslationTable::from_full_map(comm, map);
-    auto mine = table.owned_globals(comm.rank());
+    const DistHandle dist = rt.irregular(map);
+    auto mine = rt.owned_globals(dist);
+    const GlobalIndex owned = rt.owned_count(dist);
 
-    // Local pieces of x and y: x starts at 0, y(g) = g.
     // (Phase B, remapping from an earlier distribution, is skipped — the
-    // arrays are initialized directly in place.)
-    const GlobalIndex owned = table.owned_count(comm.rank());
-
-    // Phases C/D are trivial here: each rank executes its own iterations.
+    // arrays are initialized directly in place. Phases C/D are trivial
+    // here: each rank executes its own iterations.)
     // The iteration's references: x(ia(i)) += y(ib(i)).
     Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
     std::vector<GlobalIndex> ia(kIters), ib(kIters);
@@ -50,26 +51,28 @@ int main() {
     }
     std::vector<GlobalIndex> ia_orig = ia, ib_orig = ib;
 
-    // Phase E, the inspector: hash both indirection arrays (translating
-    // them to local indices in place), then build one merged schedule that
-    // serves both the gather of y and the scatter of x.
-    core::IndexHashTable hash(owned);
-    const core::Stamp sa = hash.hash(comm, table, ia);
-    const core::Stamp sb = hash.hash(comm, table, ib);
-    core::Schedule sched =
-        core::build_schedule(comm, hash, core::StampExpr::merged({sa, sb}));
+    // Phase E, the inspector: bind both indirection arrays as loops over
+    // the distribution, inspect them (translating their references to local
+    // indices in the shared hash table), and merge the two schedules into
+    // one that serves both the gather of y and the scatter of x.
+    lang::IndirectionArray ia_arr(ia), ib_arr(ib);
+    const LoopHandle la = rt.bind(dist, ia_arr);
+    const LoopHandle lb = rt.bind(dist, ib_arr);
+    const ScheduleHandle sched = rt.merge({rt.inspect(la), rt.inspect(lb)});
+    std::span<const GlobalIndex> ia_local = rt.local_refs(la);
+    std::span<const GlobalIndex> ib_local = rt.local_refs(lb);
 
-    std::vector<double> x(static_cast<size_t>(hash.local_extent()), 0.0);
-    std::vector<double> y(static_cast<size_t>(hash.local_extent()), 0.0);
+    std::vector<double> x(static_cast<size_t>(rt.extent(sched)), 0.0);
+    std::vector<double> y(static_cast<size_t>(rt.extent(sched)), 0.0);
     for (std::size_t k = 0; k < mine.size(); ++k)
       y[k] = static_cast<double>(mine[k]);
 
     // Phase F, the executor: gather ghosts, run the loop on local indices,
     // scatter-add the off-processor accumulations home.
-    core::gather<double>(comm, sched, y);
+    rt.gather<double>(sched, y);
     for (std::size_t i = 0; i < kIters; ++i)
-      x[static_cast<size_t>(ia[i])] += y[static_cast<size_t>(ib[i])];
-    core::scatter_add<double>(comm, sched, x);
+      x[static_cast<size_t>(ia_local[i])] += y[static_cast<size_t>(ib_local[i])];
+    rt.scatter_add<double>(sched, x);
 
     // Report: reconstruct the global x on rank 0 and verify against a
     // sequential evaluation of everyone's iterations.
@@ -98,7 +101,8 @@ int main() {
       std::cout << "quickstart: irregular loop over " << kN << " elements, "
                 << kRanks << " ranks, " << kRanks * kIters << " iterations\n"
                 << "  merged schedule fetched "
-                << sched.recv_total(0) << " ghost element(s) on rank 0\n"
+                << rt.schedule(sched).recv_total(0) << " ghost element(s) on "
+                << "rank 0\n"
                 << "  result " << (ok ? "MATCHES" : "DOES NOT MATCH")
                 << " the sequential evaluation\n";
     }

@@ -4,19 +4,13 @@
 #include <numeric>
 
 #include "apps/charmm/forces.hpp"
-#include "core/chaos.hpp"
-#include "lang/distribution.hpp"
-#include "lang/inspector_cache.hpp"
+#include "runtime/runtime.hpp"
 
 namespace chaos::charmm {
 
 namespace {
 
 using core::GlobalIndex;
-using core::IndexHashTable;
-using core::Schedule;
-using core::Stamp;
-using core::StampExpr;
 using core::TranslationTable;
 
 /// Record exchanged when re-assembling global geometry.
@@ -50,24 +44,21 @@ class Driver {
         cfg_(cfg),
         phase_out_(phase_out),
         shared_(shared),
+        rt_(comm),
         sys_(MolecularSystem::generate(cfg.system)),
         n_(static_cast<GlobalIndex>(sys_.size())) {}
 
   void run() {
     // Initial BLOCK distribution of all atom-aligned arrays.
     {
-      std::vector<int> map = core::parallel_partition(
-          comm_, core::PartitionerKind::kBlock, {}, {}, {}, n_);
-      tt_ = std::make_unique<TranslationTable>(
-          TranslationTable::from_full_map(comm_, map));
-      my_globals_ = tt_->owned_globals(comm_.rank());
+      dist_ = rt_.partition(core::PartitionerKind::kBlock, {}, {}, {}, n_);
+      my_globals_ = rt_.owned_globals(dist_);
       pos_.resize(my_globals_.size());
       vel_.resize(my_globals_.size());
       for (std::size_t i = 0; i < my_globals_.size(); ++i) {
         pos_[i] = sys_.pos[static_cast<size_t>(my_globals_[i])];
         vel_[i] = sys_.vel[static_cast<size_t>(my_globals_[i])];
       }
-      if (cfg_.compiler_generated) rebuild_lang_distribution(map);
     }
 
     // Bootstrap: a first partition from the density estimate yields the
@@ -145,11 +136,6 @@ class Driver {
       comm_.charge_compute_seconds(seconds * factor);
   }
 
-  void rebuild_lang_distribution(const std::vector<int>& map) {
-    dist_ = std::make_unique<lang::Distribution>(
-        lang::Distribution::irregular(comm_, map));
-  }
-
   /// Assemble all current positions in global-id order (the replicated
   /// geometry both the partitioner and the list builder consume).
   std::vector<part::Point3> gather_all_positions() {
@@ -168,8 +154,7 @@ class Driver {
   /// the initial distribution regenerates it instead (paper §4.1.1: "this
   /// regeneration was performed because atoms were redistributed").
   void partition_and_remap(core::PartitionerKind kind, bool remap_list) {
-    std::vector<int> map;
-    std::unique_ptr<TranslationTable> new_tt;
+    DistHandle new_dist;
     timed_with_overhead(
         &CharmmPhaseTimes::data_partition, kCompilerPartitionOverhead, [&] {
           // Weights: the per-atom computational load is dominated by the
@@ -190,25 +175,18 @@ class Driver {
           std::vector<part::Point3> points(
               pos_.begin(),
               pos_.begin() + static_cast<std::ptrdiff_t>(my_globals_.size()));
-          map = core::parallel_partition(comm_, kind, my_globals_, points,
-                                         weights, n_);
-          new_tt = std::make_unique<TranslationTable>(
-              TranslationTable::from_full_map(comm_, map));
+          new_dist = rt_.repartition(dist_, kind, points, weights);
         });
 
     timed_with_overhead(
         &CharmmPhaseTimes::remap_preproc, kCompilerRemapOverhead, [&] {
-          Schedule remap =
-              core::build_remap_schedule(comm_, my_globals_, *new_tt);
-          const GlobalIndex new_owned = new_tt->owned_count(comm_.rank());
-          std::vector<part::Point3> new_pos(static_cast<size_t>(new_owned));
-          std::vector<part::Vec3> new_vel(static_cast<size_t>(new_owned));
-          core::transport<part::Point3>(comm_, remap,
-                                        {pos_.data(), my_globals_.size()},
-                                        {new_pos.data(), new_pos.size()});
-          core::transport<part::Vec3>(comm_, remap,
-                                      {vel_.data(), my_globals_.size()},
-                                      {new_vel.data(), new_vel.size()});
+          const ScheduleHandle remap = rt_.plan_remap(dist_, new_dist);
+          std::vector<part::Point3> new_pos = rt_.remap<part::Point3>(
+              remap, {pos_.data(), my_globals_.size()});
+          std::vector<part::Vec3> new_vel = rt_.remap<part::Vec3>(
+              remap, {vel_.data(), my_globals_.size()});
+          const TranslationTable& new_tt = rt_.dist(new_dist).table();
+          const GlobalIndex new_owned = rt_.owned_count(new_dist);
 
           // Phase D, iteration remapping: each atom's non-bonded list row
           // (a variable-length iteration record) travels to the atom's new
@@ -221,7 +199,7 @@ class Driver {
             double words = 0;
             for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r) {
               const GlobalIndex atom = my_globals_[r];
-              const int dest = new_tt->lookup_local(atom).proc;
+              const int dest = new_tt.lookup_local(atom).proc;
               auto& s = streams[static_cast<size_t>(dest)];
               s.push_back(atom);
               s.push_back(nb_.inblo[r + 1] - nb_.inblo[r]);
@@ -250,8 +228,8 @@ class Driver {
             }
             std::sort(rows.begin(), rows.end(),
                       [&](const auto& a, const auto& b) {
-                        return new_tt->lookup_local(a.first).offset <
-                               new_tt->lookup_local(b.first).offset;
+                        return new_tt.lookup_local(a.first).offset <
+                               new_tt.lookup_local(b.first).offset;
                       });
             moved.inblo.push_back(0);
             for (auto& [atom, partners] : rows) {
@@ -267,8 +245,13 @@ class Driver {
 
           pos_ = std::move(new_pos);
           vel_ = std::move(new_vel);
-          tt_ = std::move(new_tt);
-          my_globals_ = tt_->owned_globals(comm_.rank());
+
+          // Distribution epoch changed: retire the old one (its inspector
+          // state and every handle bound to it become invalid; the remapped
+          // list survives and schedules are regenerated below).
+          rt_.retire(dist_);
+          dist_ = new_dist;
+          my_globals_ = rt_.owned_globals(dist_);
           nb_ = std::move(moved);
 
           // Iteration partitioning for the bonded loop (Phases C+D):
@@ -276,16 +259,11 @@ class Driver {
           // two references, the first one's owner) is computed locally.
           my_bonds_.clear();
           for (const auto& [i, j] : sys_.bonds) {
-            if (tt_->lookup_local(i).proc == comm_.rank())
+            if (new_tt.lookup_local(i).proc == comm_.rank())
               my_bonds_.emplace_back(i, j);
           }
           comm_.charge_work(static_cast<double>(sys_.bonds.size()) * 2.0);
         });
-
-    // Distribution changed: previous inspector state is invalid (the
-    // remapped list survives; schedules must be regenerated).
-    hash_.reset();
-    if (cfg_.compiler_generated) rebuild_lang_distribution(map);
   }
 
   void rebuild_nb_list() {
@@ -300,63 +278,20 @@ class Driver {
     });
   }
 
+  /// Both the hand-written and the compiler-generated paths run through the
+  /// runtime's schedule registry: the indirection arrays carry modification
+  /// records, the registry recycles stamps on rebuild and reuses unchanged
+  /// entries (hash hits skip translation, paper §3.2.2). The paths differ
+  /// only in schedule shape (merged vs separate, Table 3) and in the
+  /// mechanical overheads the compiler mode charges (Table 6).
   void build_schedules(bool regen) {
-    if (cfg_.compiler_generated) {
-      build_schedules_compiler(regen);
-      return;
-    }
-    timed(regen ? &CharmmPhaseTimes::schedule_regen
-                : &CharmmPhaseTimes::schedule_gen,
-          [&] {
-            if (!hash_) {
-              // Fresh distribution epoch: hash the (static) bonded refs
-              // first, then the non-bonded list.
-              hash_ = std::make_unique<IndexHashTable>(
-                  tt_->owned_count(comm_.rank()));
-              bond_refs_.clear();
-              bond_refs_.reserve(my_bonds_.size() * 2);
-              for (const auto& [i, j] : my_bonds_) {
-                bond_refs_.push_back(i);
-                bond_refs_.push_back(j);
-              }
-              stamp_bond_ = hash_->hash(comm_, *tt_, bond_refs_);
-              sched_bond_ = core::build_schedule(comm_, *hash_,
-                                                 StampExpr::only(stamp_bond_));
-            } else if (regen) {
-              // Adaptive path: recycle the non-bonded stamp; unchanged
-              // entries are hash hits and skip translation (paper §3.2.2).
-              hash_->clear_stamp(stamp_nb_);
-            }
-            jnb_local_ = nb_.jnb;
-            stamp_nb_ = hash_->hash(comm_, *tt_, jnb_local_);
-
-            if (cfg_.merged_schedules) {
-              sched_all_ = core::build_schedule(
-                  comm_, *hash_, StampExpr::merged({stamp_bond_, stamp_nb_}));
-            } else {
-              sched_nb_ = core::build_schedule(comm_, *hash_,
-                                               StampExpr::only(stamp_nb_));
-              // Disjoint complement used for the scatter direction so
-              // overlapping ghost contributions are delivered exactly once.
-              sched_nb_excl_ = core::build_schedule(
-                  comm_, *hash_, StampExpr::incremental(stamp_nb_, stamp_bond_));
-            }
-            extent_ = hash_->local_extent();
-            pos_.resize(static_cast<size_t>(extent_));
-            force_.assign(static_cast<size_t>(extent_), part::Vec3{});
-          });
-  }
-
-  /// Compiler-generated preprocessing: both loops run through the
-  /// lang::InspectorCache, whose modification records decide reuse. The
-  /// records change when we assign new contents to the IndirectionArrays.
-  void build_schedules_compiler(bool regen) {
     timed(regen ? &CharmmPhaseTimes::schedule_regen
                 : &CharmmPhaseTimes::schedule_gen,
           [&] {
             const double t0 = comm_.now();
-            if (!cache_ || !regen) {
-              cache_ = std::make_unique<lang::InspectorCache>();
+            if (!regen) {
+              // Fresh distribution epoch: rebind both loops and refresh the
+              // (static per-epoch) bonded refs.
               std::vector<GlobalIndex> brefs;
               brefs.reserve(my_bonds_.size() * 2);
               for (const auto& [i, j] : my_bonds_) {
@@ -364,24 +299,33 @@ class Driver {
                 brefs.push_back(j);
               }
               bond_ind_.assign(std::move(brefs));
+              bond_loop_ = rt_.bind(dist_, bond_ind_);
+              jnb_loop_ = rt_.bind(dist_, jnb_ind_);
             }
-            jnb_ind_.assign(std::vector<GlobalIndex>(nb_.jnb.begin(),
-                                                     nb_.jnb.end()));
-            const lang::LoopPlan& pb = cache_->plan(comm_, *dist_, bond_ind_);
-            const lang::LoopPlan& pn = cache_->plan(comm_, *dist_, jnb_ind_);
-            bond_refs_ = pb.local_refs;
-            jnb_local_ = pn.local_refs;
-            sched_bond_ = pb.schedule;
-            sched_nb_ = pn.schedule;
-            // Disjoint scatter complement, built from the shared table.
-            sched_nb_excl_ = core::build_schedule(
-                comm_, *cache_->hash_table(),
-                StampExpr::incremental(pn.stamp, pb.stamp));
-            extent_ = std::max(pb.local_extent, pn.local_extent);
+            jnb_ind_.assign(
+                std::vector<GlobalIndex>(nb_.jnb.begin(), nb_.jnb.end()));
+
+            h_bond_ = rt_.inspect(bond_loop_);
+            h_nb_ = rt_.inspect(jnb_loop_);
+            bond_refs_ = rt_.local_refs(bond_loop_);
+            jnb_local_ = rt_.local_refs(jnb_loop_);
+
+            if (use_merged()) {
+              h_all_ = rt_.merge({h_bond_, h_nb_});
+            } else {
+              // Disjoint complement used for the scatter direction so
+              // overlapping ghost contributions are delivered exactly once.
+              h_nb_excl_ = rt_.incremental(h_nb_, h_bond_);
+            }
+            extent_ = rt_.local_extent(dist_);
             pos_.resize(static_cast<size_t>(extent_));
             force_.assign(static_cast<size_t>(extent_), part::Vec3{});
             charge_overhead(comm_.now() - t0, kCompilerInspectorOverhead);
           });
+  }
+
+  bool use_merged() const {
+    return cfg_.merged_schedules && !cfg_.compiler_generated;
   }
 
   void executor_step() {
@@ -390,17 +334,17 @@ class Driver {
       if (cfg_.compiler_generated) {
         // Generated guard before every irregular loop execution: check the
         // modification records (a global agreement).
-        (void)cache_->plan(comm_, *dist_, bond_ind_);
-        (void)cache_->plan(comm_, *dist_, jnb_ind_);
+        (void)rt_.inspect(bond_loop_);
+        (void)rt_.inspect(jnb_loop_);
       }
 
       std::span<part::Point3> pos{pos_.data(), pos_.size()};
       std::span<part::Vec3> force{force_.data(), force_.size()};
-      if (cfg_.merged_schedules && !cfg_.compiler_generated) {
-        core::gather<part::Point3>(comm_, sched_all_, pos);
+      if (use_merged()) {
+        rt_.gather<part::Point3>(h_all_, pos);
       } else {
-        core::gather<part::Point3>(comm_, sched_bond_, pos);
-        core::gather<part::Point3>(comm_, sched_nb_, pos);
+        rt_.gather<part::Point3>(h_bond_, pos);
+        rt_.gather<part::Point3>(h_nb_, pos);
       }
 
       std::fill(force_.begin(), force_.end(), part::Vec3{});
@@ -434,11 +378,11 @@ class Driver {
       }
       comm_.charge_work(static_cast<double>(nb_.pairs()) * kWorkPerNonbonded);
 
-      if (cfg_.merged_schedules && !cfg_.compiler_generated) {
-        core::scatter_add<part::Vec3>(comm_, sched_all_, force);
+      if (use_merged()) {
+        rt_.scatter_add<part::Vec3>(h_all_, force);
       } else {
-        core::scatter_add<part::Vec3>(comm_, sched_bond_, force);
-        core::scatter_add<part::Vec3>(comm_, sched_nb_excl_, force);
+        rt_.scatter_add<part::Vec3>(h_bond_, force);
+        rt_.scatter_add<part::Vec3>(h_nb_excl_, force);
       }
 
       // Integrate owned atoms.
@@ -477,27 +421,26 @@ class Driver {
   std::vector<CharmmPhaseTimes>& phase_out_;
   ParallelCharmmResult& shared_;
 
+  Runtime rt_;
   MolecularSystem sys_;
   GlobalIndex n_;
-  std::unique_ptr<TranslationTable> tt_;
+  DistHandle dist_;
   std::vector<GlobalIndex> my_globals_;
   std::vector<part::Point3> pos_;  // owned + ghost
   std::vector<part::Vec3> vel_;    // owned only
   std::vector<part::Vec3> force_;  // owned + ghost
   std::vector<std::pair<GlobalIndex, GlobalIndex>> my_bonds_;
 
-  NonbondedList nb_;                       // rows = my_globals_
-  std::unique_ptr<IndexHashTable> hash_;   // hand path
-  std::vector<GlobalIndex> bond_refs_;     // localized (ib,jb) pairs
-  std::vector<GlobalIndex> jnb_local_;     // localized partners
-  Stamp stamp_bond_ = 0, stamp_nb_ = 0;
-  Schedule sched_all_, sched_bond_, sched_nb_, sched_nb_excl_;
-  GlobalIndex extent_ = 0;
+  NonbondedList nb_;  // rows = my_globals_
 
-  // Compiler-generated path.
-  std::unique_ptr<lang::Distribution> dist_;
-  std::unique_ptr<lang::InspectorCache> cache_;
+  // Irregular-loop descriptors: two indirection arrays (bonded refs,
+  // non-bonded partners) and their runtime handles.
   lang::IndirectionArray bond_ind_, jnb_ind_;
+  LoopHandle bond_loop_, jnb_loop_;
+  ScheduleHandle h_bond_, h_nb_, h_all_, h_nb_excl_;
+  std::span<const GlobalIndex> bond_refs_;  // localized (ib,jb) pairs
+  std::span<const GlobalIndex> jnb_local_;  // localized partners
+  GlobalIndex extent_ = 0;
 
   CharmmPhaseTimes t_;
 };

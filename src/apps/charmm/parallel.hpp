@@ -1,8 +1,9 @@
 // CHAOS-parallel driver for the mini-CHARMM molecular dynamics simulation
-// (paper §4.1): all six runtime phases, hash-table schedule reuse across
-// non-bonded list regenerations, merged vs multiple schedules, and an
-// optional "compiler-generated" mode that routes the adaptive loop through
-// the lang:: inspector cache (paper §5.3.1, Table 6).
+// (paper §4.1), written against the chaos::Runtime facade: all six runtime
+// phases as handle operations, schedule-registry reuse across non-bonded
+// list regenerations, merged vs multiple schedules, and an optional
+// "compiler-generated" mode with per-step modification-record guards
+// (paper §5.3.1, Table 6).
 #pragma once
 
 #include "apps/charmm/sequential.hpp"
@@ -27,8 +28,9 @@ struct ParallelCharmmConfig {
   bool alternate_partitioners = false;
 
   /// Route the adaptive non-bonded loop through the compiler-generated path
-  /// (lang::InspectorCache with modification-record checks) and charge the
-  /// mechanical overheads of generated code. See DESIGN.md §2.
+  /// (per-step modification-record guards on the runtime's schedule
+  /// registry) and charge the mechanical overheads of generated code. See
+  /// DESIGN.md §2.
   bool compiler_generated = false;
 
   /// Collect final global positions/forces into the result (tests only;

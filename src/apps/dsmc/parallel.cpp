@@ -3,20 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
-#include "core/chaos.hpp"
-#include "lang/distribution.hpp"
-#include "lang/forall.hpp"
+#include "runtime/runtime.hpp"
 
 namespace chaos::dsmc {
 
 namespace {
 
 using core::GlobalIndex;
-using core::IndexHashTable;
-using core::LightweightSchedule;
-using core::Schedule;
-using core::StampExpr;
-using core::TranslationTable;
 
 /// Copy-in/copy-out overhead of compiler-generated FORALL loops relative to
 /// the hand-written collision/update code (the Fortran D FORALL semantics
@@ -31,7 +24,8 @@ class Driver {
         cfg_(cfg),
         p_(cfg.params),
         phase_out_(phase_out),
-        shared_(shared) {}
+        shared_(shared),
+        rt_(comm) {}
 
   void run() {
     initialize();
@@ -86,7 +80,9 @@ class Driver {
         mine_.push_back(q);
   }
 
-  /// Install a new cell->processor map and rebuild everything derived.
+  /// Install a new cell->processor map and rebuild everything derived. The
+  /// previous distribution epoch (if any) is retired: handles bound to it
+  /// become invalid.
   void adopt_map(std::vector<int> map) {
     cell_map_ = std::move(map);
     my_cells_.clear();
@@ -98,21 +94,18 @@ class Driver {
         my_cells_.push_back(c);
       }
     }
-    if (cfg_.migration == MigrationMode::kRegular || cfg_.compiler_generated)
-      dist_ = std::make_unique<lang::Distribution>(
-          lang::Distribution::irregular(comm_, cell_map_));
+    if (cfg_.compiler_generated) {
+      // Rows distribution the REDUCE(APPEND) lowering appends into.
+      if (rt_.valid(rows_)) rt_.retire(rows_);
+      rows_ = rt_.irregular(cell_map_);
+    }
     if (cfg_.migration == MigrationMode::kRegular) {
       // The regular-schedule path translates through a non-replicated
       // (paged) translation table, whose lookups communicate — the cost the
       // paper calls out for index analysis with distributed tables
       // (§3.2.2).
-      part::BlockLayout pages(p_.n_cells(), comm_.size());
-      std::vector<int> slice(
-          cell_map_.begin() + pages.first(comm_.rank()),
-          cell_map_.begin() + pages.first(comm_.rank()) +
-              pages.size_of(comm_.rank()));
-      dist_tt_ = std::make_unique<TranslationTable>(
-          TranslationTable::build_distributed(comm_, slice));
+      if (rt_.valid(paged_)) rt_.retire(paged_);
+      paged_ = rt_.irregular_paged(cell_map_);
     }
   }
 
@@ -172,10 +165,9 @@ class Driver {
       for (std::size_t i = 0; i < mine_.size(); ++i)
         dest[i] = cell_map_[static_cast<size_t>(dest_cells[i])];
       comm_.charge_work(static_cast<double>(mine_.size()) * 0.5);
-      auto sched = LightweightSchedule::build(comm_, dest);
       std::vector<Particle> arrived;
       arrived.reserve(mine_.size());
-      core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+      rt_.migrate<Particle>(dest, mine_, arrived);
       mine_ = std::move(arrived);
     });
 
@@ -183,8 +175,7 @@ class Driver {
     // is accounted separately (it is extra work the manual version avoids).
     if (cfg_.compiler_generated) {
       timed(&DsmcPhaseTimes::size_recompute, [&] {
-        std::vector<GlobalIndex> sizes =
-            lang::recompute_row_sizes(comm_, *dist_, dest_cells);
+        std::vector<GlobalIndex> sizes = rt_.row_sizes(rows_, dest_cells);
         (void)sizes;
       });
     }
@@ -195,14 +186,12 @@ class Driver {
   /// (permutation list) exchange — the work the light-weight schedule
   /// exists to avoid.
   void move_regular(const std::vector<GlobalIndex>& dest_cells) {
-    // Index analysis + schedule generation over the destination cells,
-    // translating through the distributed (paged) table — one
-    // query/reply communication round per step.
-    IndexHashTable hash(
-        static_cast<GlobalIndex>(my_cells_.size()));
+    // One-shot index analysis + schedule generation over the destination
+    // cells (the pattern changes every step, so nothing is reusable),
+    // translating through the distributed (paged) table — one query/reply
+    // communication round per step.
     std::vector<GlobalIndex> refs = dest_cells;
-    const core::Stamp s = hash.hash(comm_, *dist_tt_, refs);
-    Schedule cell_sched = core::build_schedule(comm_, hash, StampExpr::only(s));
+    const ScheduleHandle cell_sched = rt_.inspect_once(paged_, refs);
     (void)cell_sched;
 
     // Placement negotiation: every particle's destination cell travels to
@@ -228,10 +217,9 @@ class Driver {
 
     // Payload motion (same arrivals as the light-weight path) plus the
     // placement work of honoring the permutation list.
-    auto sched = LightweightSchedule::build(comm_, dest);
     std::vector<Particle> arrived;
     arrived.reserve(mine_.size());
-    core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+    rt_.migrate<Particle>(dest, mine_, arrived);
     comm_.charge_work(static_cast<double>(arrived.size()) * 2.0);
     mine_ = std::move(arrived);
   }
@@ -242,7 +230,7 @@ class Driver {
   void move_compiler(const std::vector<GlobalIndex>& dest_cells) {
     std::vector<Particle> arrived;
     arrived.reserve(mine_.size());
-    lang::reduce_append<Particle>(comm_, *dist_, dest_cells, mine_, arrived);
+    rt_.append<Particle>(rows_, dest_cells, mine_, arrived);
     mine_ = std::move(arrived);
   }
 
@@ -265,8 +253,8 @@ class Driver {
         std::vector<part::Point3> centers(my_cells_.size());
         for (std::size_t i = 0; i < my_cells_.size(); ++i)
           centers[i] = cell_center(p_, my_cells_[i]);
-        std::vector<int> chain_map = core::parallel_partition(
-            comm_, core::PartitionerKind::kChain, chain_ids, centers, weights,
+        std::vector<int> chain_map = rt_.partition_map(
+            core::PartitionerKind::kChain, chain_ids, centers, weights,
             p_.n_cells());
         new_map.resize(static_cast<size_t>(p_.n_cells()));
         for (GlobalIndex c = 0; c < p_.n_cells(); ++c)
@@ -276,18 +264,16 @@ class Driver {
         std::vector<part::Point3> centers(my_cells_.size());
         for (std::size_t i = 0; i < my_cells_.size(); ++i)
           centers[i] = cell_center(p_, my_cells_[i]);
-        new_map = core::parallel_partition(comm_, cfg_.remap_partitioner,
-                                           my_cells_, centers, weights,
-                                           p_.n_cells());
+        new_map = rt_.partition_map(cfg_.remap_partitioner, my_cells_,
+                                    centers, weights, p_.n_cells());
       }
 
       // Migrate particles to the new owners of their cells.
       std::vector<int> dest(mine_.size());
       for (std::size_t i = 0; i < mine_.size(); ++i)
         dest[i] = new_map[static_cast<size_t>(cell_of(p_, mine_[i]))];
-      auto sched = LightweightSchedule::build(comm_, dest);
       std::vector<Particle> arrived;
-      core::scatter_append<Particle>(comm_, sched, mine_, arrived);
+      rt_.migrate<Particle>(dest, mine_, arrived);
       mine_ = std::move(arrived);
       adopt_map(std::move(new_map));
     });
@@ -310,13 +296,14 @@ class Driver {
   std::vector<DsmcPhaseTimes>& phase_out_;
   ParallelDsmcResult& shared_;
 
+  Runtime rt_;
   std::vector<int> cell_map_;            // replicated cell -> proc
   std::vector<GlobalIndex> my_cells_;    // owned cells, ascending
   std::vector<std::int32_t> cell_slot_;  // cell -> local slot or -1
   std::vector<Particle> mine_;
   std::vector<std::vector<Particle*>> buckets_;
-  std::unique_ptr<lang::Distribution> dist_;
-  std::unique_ptr<TranslationTable> dist_tt_;  // regular path only
+  DistHandle rows_;   // compiler path: replicated rows distribution
+  DistHandle paged_;  // regular path: paged translation table
 
   long long collisions_ = 0;
   DsmcPhaseTimes t_;

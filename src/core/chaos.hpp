@@ -7,6 +7,10 @@
 //   Phase D  iteration remapping     core/iteration.hpp
 //   Phase E  inspector               core/hash_table.hpp + core/schedule.hpp
 //   Phase F  executor                core/transport.hpp, core/lightweight.hpp
+//
+// chaos::Runtime (runtime/runtime.hpp) is the descriptor-based facade over
+// all six phases — new code should drive them through its typed handles
+// rather than the free functions below (see docs/API.md).
 #pragma once
 
 #include "core/hash_table.hpp"
@@ -21,4 +25,5 @@
 #include "partition/chain.hpp"
 #include "partition/layout.hpp"
 #include "partition/metrics.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/machine.hpp"

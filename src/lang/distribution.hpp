@@ -14,6 +14,7 @@
 // together implement Phase A/B of the runtime).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -53,6 +54,22 @@ class Distribution {
     return Distribution(comm, std::vector<int>(map.begin(), map.end()));
   }
 
+  /// Irregular distribution whose translation table is *distributed*
+  /// (paged): each rank stores one BLOCK page of the table and lookups for
+  /// other pages communicate (paper §3.2.2). `map` must still be identical
+  /// on every rank; only the table storage is paged.
+  static Distribution irregular_paged(sim::Comm& comm,
+                                      std::span<const int> map) {
+    const GlobalIndex n = static_cast<GlobalIndex>(map.size());
+    std::span<const int> slice;
+    if (n > 0) {
+      part::BlockLayout pages(n, comm.size());
+      slice = map.subspan(static_cast<std::size_t>(pages.first(comm.rank())),
+                          static_cast<std::size_t>(pages.size_of(comm.rank())));
+    }
+    return Distribution(core::TranslationTable::build_distributed(comm, slice));
+  }
+
   GlobalIndex global_size() const { return table_.global_size(); }
   const core::TranslationTable& table() const { return table_; }
 
@@ -72,10 +89,15 @@ class Distribution {
       : table_(core::TranslationTable::from_full_map(comm, map)),
         epoch_(next_epoch()) {}
 
+  explicit Distribution(core::TranslationTable table)
+      : table_(std::move(table)), epoch_(next_epoch()) {}
+
   static std::uint64_t next_epoch() {
-    // Thread-safe: each rank constructs its own Distribution objects, and
-    // epochs only need to be unique within a rank (caches are per-rank).
-    thread_local std::uint64_t counter = 0;
+    // Process-wide: caches are per-rank, but a Distribution may be created
+    // on one thread and compared against one created on another (the same
+    // hazard as IndirectionArray ids); a thread_local counter could hand
+    // two distinct distributions the same epoch.
+    static std::atomic<std::uint64_t> counter{0};
     return ++counter;
   }
 

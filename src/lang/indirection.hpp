@@ -1,0 +1,93 @@
+// Indirection arrays with modification records (paper §5.3.1).
+//
+// An IndirectionArray is the descriptor the compiler-support layer and the
+// chaos::Runtime facade key preprocessing on: it carries a process-unique id
+// and a version (the modification record). Assigning new contents bumps the
+// version; schedule caches compare versions to decide whether the inspector
+// can be skipped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/stamp.hpp"
+#include "core/translation_table.hpp"
+
+namespace chaos::lang {
+
+using core::GlobalIndex;
+
+/// An indirection array with a modification record. Assigning new contents
+/// bumps the version; schedule caches compare versions to decide whether
+/// preprocessing can be reused.
+class IndirectionArray {
+ public:
+  IndirectionArray() : id_(next_id()) {}
+  explicit IndirectionArray(std::vector<GlobalIndex> v)
+      : id_(next_id()), values_(std::move(v)) {}
+
+  // Move-only: the id is the array's cache identity, so a copy would alias
+  // the original's cached plans and silently return the wrong schedule. A
+  // move transfers the identity; the moved-from object gets a fresh one.
+  IndirectionArray(const IndirectionArray&) = delete;
+  IndirectionArray& operator=(const IndirectionArray&) = delete;
+  IndirectionArray(IndirectionArray&& o) noexcept
+      : id_(o.id_), version_(o.version_), values_(std::move(o.values_)) {
+    o.id_ = next_id();
+    o.version_ = 0;
+    o.values_.clear();
+  }
+  IndirectionArray& operator=(IndirectionArray&& o) noexcept {
+    if (this != &o) {
+      id_ = o.id_;
+      version_ = o.version_;
+      values_ = std::move(o.values_);
+      o.id_ = next_id();
+      o.version_ = 0;
+      o.values_.clear();
+    }
+    return *this;
+  }
+
+  std::span<const GlobalIndex> values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Replace the contents (e.g. a regenerated non-bonded list). Bumps the
+  /// modification record.
+  void assign(std::vector<GlobalIndex> v) {
+    values_ = std::move(v);
+    ++version_;
+  }
+
+  std::uint64_t id() const { return id_; }
+  std::uint64_t version() const { return version_; }
+
+ private:
+  static std::uint64_t next_id() {
+    // Process-wide: ids must stay unique even when arrays are created on
+    // different rank threads and later meet in the same per-rank cache
+    // (e.g. one array built before Machine::run, another inside it). A
+    // thread_local counter would hand both the same id and the cache would
+    // return the wrong LoopPlan.
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+  }
+
+  std::uint64_t id_;
+  std::uint64_t version_ = 0;
+  std::vector<GlobalIndex> values_;
+};
+
+/// The preprocessing result for one irregular loop: translated (localized)
+/// indirection array, communication schedule, and required local extent.
+struct LoopPlan {
+  std::vector<GlobalIndex> local_refs;
+  core::Schedule schedule;
+  GlobalIndex local_extent = 0;
+  core::Stamp stamp = 0;
+};
+
+}  // namespace chaos::lang

@@ -4,75 +4,22 @@
 // The Fortran 90D compiler emits code that (a) keeps a record of when any
 // statement may have modified an indirection array, and (b) re-runs the
 // inspector for an irregular loop only when the record shows a change since
-// the loop's schedule was built. This module is that generated code, made
-// explicit:
+// the loop's schedule was built. IndirectionArray (lang/indirection.hpp)
+// carries the record; the caching itself now lives in
+// runtime::ScheduleRegistry, the unified schedule registry of the
+// chaos::Runtime facade.
 //
-//   - IndirectionArray carries a version (the modification record); any
-//     mutation bumps it.
-//   - InspectorCache::plan() is the guard the compiler inserts before each
-//     irregular loop: it checks versions (a global agreement, since one
-//     rank's change forces every rank to re-enter the collective
-//     inspector), reuses the cached schedule when nothing changed, and
-//     otherwise clears the loop's stamp, re-hashes, and rebuilds.
-//
-// One IndexHashTable is shared by all loops over the same distribution, so
-// cross-loop software caching (merged/incremental schedules, translation
-// reuse) works exactly as in the hand-written runtime path.
+// InspectorCache is kept as a thin compatibility wrapper over one
+// ScheduleRegistry so pre-facade call sites (and the FORALL lowerings in
+// lang/forall.hpp) keep compiling unchanged. New code should go through
+// chaos::Runtime instead.
 #pragma once
 
-#include <map>
-#include <memory>
-#include <optional>
-#include <span>
-#include <vector>
-
-#include "core/hash_table.hpp"
-#include "core/schedule.hpp"
 #include "lang/distribution.hpp"
+#include "lang/indirection.hpp"
+#include "runtime/schedule_registry.hpp"
 
 namespace chaos::lang {
-
-/// An indirection array with a modification record. Assigning new contents
-/// bumps the version; the inspector cache compares versions to decide
-/// whether preprocessing can be reused.
-class IndirectionArray {
- public:
-  IndirectionArray() : id_(next_id()) {}
-  explicit IndirectionArray(std::vector<GlobalIndex> v)
-      : id_(next_id()), values_(std::move(v)) {}
-
-  std::span<const GlobalIndex> values() const { return values_; }
-  std::size_t size() const { return values_.size(); }
-
-  /// Replace the contents (e.g. a regenerated non-bonded list). Bumps the
-  /// modification record.
-  void assign(std::vector<GlobalIndex> v) {
-    values_ = std::move(v);
-    ++version_;
-  }
-
-  std::uint64_t id() const { return id_; }
-  std::uint64_t version() const { return version_; }
-
- private:
-  static std::uint64_t next_id() {
-    thread_local std::uint64_t counter = 0;
-    return ++counter;
-  }
-
-  std::uint64_t id_;
-  std::uint64_t version_ = 0;
-  std::vector<GlobalIndex> values_;
-};
-
-/// The preprocessing result for one irregular loop: translated (localized)
-/// indirection array, communication schedule, and required local extent.
-struct LoopPlan {
-  std::vector<GlobalIndex> local_refs;
-  core::Schedule schedule;
-  GlobalIndex local_extent = 0;
-  core::Stamp stamp = 0;
-};
 
 class InspectorCache {
  public:
@@ -81,30 +28,25 @@ class InspectorCache {
   /// distribution changed anywhere on the machine; otherwise returns the
   /// cached plan (and only pays the version check).
   const LoopPlan& plan(sim::Comm& comm, const Distribution& dist,
-                       const IndirectionArray& ind);
+                       const IndirectionArray& ind) {
+    return registry_.plan(comm, dist, ind);
+  }
 
-  /// Statistics the benches report: how often preprocessing was reused.
-  struct Stats {
-    std::uint64_t builds = 0;
-    std::uint64_t reuses = 0;
-  };
-  const Stats& stats() const { return stats_; }
+  using Stats = runtime::ScheduleRegistry::Stats;
+  const Stats& stats() const { return registry_.stats(); }
 
   /// The shared hash table for the current distribution epoch (for building
   /// merged schedules by hand on top of cached loops). Null before any
   /// plan() call.
-  const core::IndexHashTable* hash_table() const { return hash_.get(); }
+  const core::IndexHashTable* hash_table() const {
+    return registry_.hash_table();
+  }
+
+  /// The underlying registry (for code migrating to the Runtime facade).
+  runtime::ScheduleRegistry& registry() { return registry_; }
 
  private:
-  struct CachedLoop {
-    std::uint64_t version = ~std::uint64_t{0};
-    LoopPlan plan;
-  };
-
-  std::uint64_t epoch_ = 0;  // distribution epoch the cache is bound to
-  std::unique_ptr<core::IndexHashTable> hash_;
-  std::map<std::uint64_t, CachedLoop> loops_;  // by IndirectionArray::id
-  Stats stats_;
+  runtime::ScheduleRegistry registry_;
 };
 
 }  // namespace chaos::lang

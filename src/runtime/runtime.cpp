@@ -1,0 +1,342 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+namespace chaos {
+
+// ---- Phase A ---------------------------------------------------------------
+
+DistHandle Runtime::adopt(lang::Distribution dist) {
+  DistEntry entry;
+  entry.dist = std::make_unique<lang::Distribution>(std::move(dist));
+  dists_.push_back(std::move(entry));
+  return DistHandle{static_cast<std::uint32_t>(dists_.size() - 1)};
+}
+
+std::vector<int> Runtime::partition_map(core::PartitionerKind kind,
+                                        std::span<const GlobalIndex> my_ids,
+                                        std::span<const part::Point3> my_points,
+                                        std::span<const double> my_weights,
+                                        GlobalIndex n_total) {
+  return core::parallel_partition(comm_, kind, my_ids, my_points, my_weights,
+                                  n_total);
+}
+
+DistHandle Runtime::partition(core::PartitionerKind kind,
+                              std::span<const GlobalIndex> my_ids,
+                              std::span<const part::Point3> my_points,
+                              std::span<const double> my_weights,
+                              GlobalIndex n_total) {
+  return irregular(
+      partition_map(kind, my_ids, my_points, my_weights, n_total));
+}
+
+DistHandle Runtime::repartition(DistHandle from, core::PartitionerKind kind,
+                                std::span<const part::Point3> my_points,
+                                std::span<const double> my_weights) {
+  const DistEntry& e = dist_entry(from);
+  const std::vector<GlobalIndex> my_ids =
+      e.dist->owned_globals(comm_.rank());
+  return partition(kind, my_ids, my_points, my_weights,
+                   e.dist->global_size());
+}
+
+void Runtime::retire(DistHandle h) {
+  CHAOS_CHECK(h.id < dists_.size(), "invalid distribution handle");
+  dists_[h.id].retired = true;  // idempotent
+}
+
+const lang::Distribution& Runtime::dist(DistHandle h) const {
+  return *dist_entry(h).dist;
+}
+
+GlobalIndex Runtime::local_extent(DistHandle h) const {
+  const DistEntry& e = dist_entry(h);
+  const GlobalIndex registry_extent = e.registry.local_extent();
+  return registry_extent > 0 ? registry_extent
+                             : e.dist->owned_count(comm_.rank());
+}
+
+bool Runtime::valid(DistHandle h) const {
+  return h.id < dists_.size() && !dists_[h.id].retired;
+}
+
+// ---- Phase B ---------------------------------------------------------------
+
+ScheduleHandle Runtime::plan_remap(DistHandle from, DistHandle to) {
+  const DistEntry& src = dist_entry(from);
+  const DistEntry& dst = dist_entry(to);
+  ScheduleEntry entry;
+  entry.kind = ScheduleKind::kRemap;
+  entry.dist = from.id;
+  entry.to_dist = to.id;
+  const std::vector<GlobalIndex> mine = src.dist->owned_globals(comm_.rank());
+  entry.sched = core::build_remap_schedule(comm_, mine, dst.dist->table());
+  entry.new_owned = dst.dist->owned_count(comm_.rank());
+  scheds_.push_back(std::move(entry));
+  return ScheduleHandle{static_cast<std::uint32_t>(scheds_.size() - 1)};
+}
+
+// ---- Phases C & D ----------------------------------------------------------
+
+std::vector<int> Runtime::partition_iterations(
+    DistHandle h, std::span<const GlobalIndex> refs, std::size_t arity,
+    IterationPolicy policy) {
+  const core::TranslationTable& table = dist(h).table();
+  return policy == IterationPolicy::kOwnerComputes
+             ? core::owner_computes(comm_, table, refs, arity)
+             : core::almost_owner_computes(comm_, table, refs, arity);
+}
+
+// ---- Phase E ---------------------------------------------------------------
+
+LoopHandle Runtime::bind(DistHandle dist, const lang::IndirectionArray& ind) {
+  (void)dist_entry(dist);  // validate
+  const auto key = std::make_pair(dist.id, ind.id());
+  auto it = loop_keys_.find(key);
+  if (it != loop_keys_.end()) return LoopHandle{it->second};
+  LoopEntry entry;
+  entry.dist = dist.id;
+  entry.ind = &ind;
+  entry.ind_id = ind.id();
+  loops_.push_back(entry);
+  const auto id = static_cast<std::uint32_t>(loops_.size() - 1);
+  loop_keys_.emplace(key, id);
+  return LoopHandle{id};
+}
+
+ScheduleHandle Runtime::loop_schedule_handle(std::uint32_t dist_id,
+                                             std::uint64_t ind_id) {
+  const auto key = std::make_pair(dist_id, ind_id);
+  auto it = sched_keys_.find(key);
+  if (it != sched_keys_.end()) return ScheduleHandle{it->second};
+  ScheduleEntry entry;
+  entry.kind = ScheduleKind::kLoop;
+  entry.dist = dist_id;
+  entry.ind_id = ind_id;
+  scheds_.push_back(std::move(entry));
+  const auto id = static_cast<std::uint32_t>(scheds_.size() - 1);
+  sched_keys_.emplace(key, id);
+  return ScheduleHandle{id};
+}
+
+ScheduleHandle Runtime::inspect(LoopHandle loop) {
+  const LoopEntry& le = loop_entry(loop);
+  DistEntry& de = dists_[le.dist];
+  CHAOS_CHECK(!de.retired, "loop bound to a retired distribution epoch");
+  de.registry.plan(comm_, *de.dist, *le.ind);
+  return loop_schedule_handle(le.dist, le.ind_id);
+}
+
+ScheduleHandle Runtime::inspect_once(DistHandle dist,
+                                     std::span<GlobalIndex> refs) {
+  DistEntry& de = dist_entry(dist);
+  core::IndexHashTable scratch(de.dist->owned_count(comm_.rank()));
+  const core::Stamp stamp = scratch.hash(comm_, de.dist->table(), refs);
+  ScheduleEntry entry;
+  entry.kind = ScheduleKind::kOnce;
+  entry.dist = dist.id;
+  entry.sched = core::build_schedule(comm_, scratch,
+                                     core::StampExpr::only(stamp));
+  entry.extent = scratch.local_extent();
+
+  // Revoke the previous one-shot handle for this distribution (and free its
+  // schedule storage) rather than refreshing it in place: the old handle
+  // must not silently alias the new pattern's schedule.
+  auto it = once_keys_.find(dist.id);
+  if (it != once_keys_.end()) {
+    ScheduleEntry& old = scheds_[it->second];
+    old.revoked = true;
+    old.sched = core::Schedule{};
+    old.extent = 0;
+  }
+  scheds_.push_back(std::move(entry));
+  const auto id = static_cast<std::uint32_t>(scheds_.size() - 1);
+  once_keys_[dist.id] = id;
+  return ScheduleHandle{id};
+}
+
+void Runtime::collect_components(ScheduleHandle h, std::uint32_t& dist_id,
+                                 std::vector<std::uint64_t>& ind_ids) const {
+  const ScheduleEntry& e = checked(h);
+  CHAOS_CHECK(e.kind == ScheduleKind::kLoop || e.kind == ScheduleKind::kMerged,
+              "merged/incremental schedules combine loop or merged handles");
+  if (dist_id == detail::kInvalidHandle) dist_id = e.dist;
+  CHAOS_CHECK(dist_id == e.dist,
+              "cannot combine schedules from different distributions");
+  if (e.kind == ScheduleKind::kLoop) {
+    ind_ids.push_back(e.ind_id);
+  } else {
+    ind_ids.insert(ind_ids.end(), e.part_ids.begin(), e.part_ids.end());
+  }
+}
+
+ScheduleHandle Runtime::merge(std::span<const ScheduleHandle> loops) {
+  CHAOS_CHECK(!loops.empty(), "empty merged loop set");
+  std::uint32_t dist_id = detail::kInvalidHandle;
+  std::vector<std::uint64_t> ind_ids;
+  for (ScheduleHandle h : loops) collect_components(h, dist_id, ind_ids);
+
+  DistEntry& de = dists_[dist_id];
+  ScheduleEntry entry;
+  entry.kind = ScheduleKind::kMerged;
+  entry.dist = dist_id;
+  entry.part_ids = ind_ids;
+  entry.part_revs.reserve(ind_ids.size());
+  for (std::uint64_t id : ind_ids)
+    entry.part_revs.push_back(de.registry.revision(id));
+  entry.sched = de.registry.merged(comm_, ind_ids);
+  entry.extent = de.registry.local_extent();
+
+  std::vector<std::uint64_t> key_ids = ind_ids;
+  std::sort(key_ids.begin(), key_ids.end());
+  const auto key = std::make_tuple(static_cast<int>(ScheduleKind::kMerged),
+                                   dist_id, std::move(key_ids));
+  auto it = derived_keys_.find(key);
+  if (it != derived_keys_.end()) {
+    scheds_[it->second] = std::move(entry);
+    return ScheduleHandle{it->second};
+  }
+  scheds_.push_back(std::move(entry));
+  const auto id = static_cast<std::uint32_t>(scheds_.size() - 1);
+  derived_keys_.emplace(key, id);
+  return ScheduleHandle{id};
+}
+
+ScheduleHandle Runtime::incremental(ScheduleHandle wanted,
+                                    ScheduleHandle covered) {
+  const ScheduleEntry& we = checked(wanted);
+  CHAOS_CHECK(we.kind == ScheduleKind::kLoop,
+              "incremental `wanted` must be a loop schedule");
+  std::uint32_t dist_id = we.dist;
+  std::vector<std::uint64_t> covered_ids;
+  collect_components(covered, dist_id, covered_ids);
+
+  DistEntry& de = dists_[dist_id];
+  ScheduleEntry entry;
+  entry.kind = ScheduleKind::kIncremental;
+  entry.dist = dist_id;
+  entry.part_ids.push_back(we.ind_id);
+  entry.part_ids.insert(entry.part_ids.end(), covered_ids.begin(),
+                        covered_ids.end());
+  entry.part_revs.reserve(entry.part_ids.size());
+  for (std::uint64_t id : entry.part_ids)
+    entry.part_revs.push_back(de.registry.revision(id));
+  entry.sched = de.registry.incremental(comm_, we.ind_id, covered_ids);
+  entry.extent = de.registry.local_extent();
+
+  const auto key = std::make_tuple(
+      static_cast<int>(ScheduleKind::kIncremental), dist_id, entry.part_ids);
+  auto it = derived_keys_.find(key);
+  if (it != derived_keys_.end()) {
+    scheds_[it->second] = std::move(entry);
+    return ScheduleHandle{it->second};
+  }
+  scheds_.push_back(std::move(entry));
+  const auto id = static_cast<std::uint32_t>(scheds_.size() - 1);
+  derived_keys_.emplace(key, id);
+  return ScheduleHandle{id};
+}
+
+std::span<const GlobalIndex> Runtime::local_refs(LoopHandle loop) const {
+  const LoopEntry& le = loop_entry(loop);
+  const DistEntry& de = dists_[le.dist];
+  CHAOS_CHECK(!de.retired, "loop bound to a retired distribution epoch");
+  const lang::LoopPlan* plan = de.registry.find(le.ind_id);
+  CHAOS_CHECK(plan != nullptr, "loop has not been inspected in this epoch");
+  return plan->local_refs;
+}
+
+GlobalIndex Runtime::extent(ScheduleHandle h) const {
+  return extent_of(checked(h));
+}
+
+bool Runtime::valid(LoopHandle h) const {
+  return h.id < loops_.size() && !dists_[loops_[h.id].dist].retired;
+}
+
+bool Runtime::valid(ScheduleHandle h) const {
+  if (h.id >= scheds_.size()) return false;
+  const ScheduleEntry& e = scheds_[h.id];
+  if (e.revoked) return false;
+  if (dists_[e.dist].retired) return false;
+  if (e.kind == ScheduleKind::kRemap && dists_[e.to_dist].retired)
+    return false;
+  if (e.kind == ScheduleKind::kLoop &&
+      dists_[e.dist].registry.find(e.ind_id) == nullptr)
+    return false;
+  if (e.kind == ScheduleKind::kMerged ||
+      e.kind == ScheduleKind::kIncremental) {
+    const runtime::ScheduleRegistry& reg = dists_[e.dist].registry;
+    for (std::size_t i = 0; i < e.part_ids.size(); ++i)
+      if (reg.revision(e.part_ids[i]) != e.part_revs[i]) return false;
+  }
+  return true;
+}
+
+core::IndexHashTable::Stats Runtime::hash_stats(DistHandle h) const {
+  const core::IndexHashTable* hash = dist_entry(h).registry.hash_table();
+  return hash ? hash->stats() : core::IndexHashTable::Stats{};
+}
+
+runtime::ScheduleRegistry::Stats Runtime::registry_stats(DistHandle h) const {
+  return dist_entry(h).registry.stats();
+}
+
+// ---- internals -------------------------------------------------------------
+
+Runtime::DistEntry& Runtime::dist_entry(DistHandle h) {
+  CHAOS_CHECK(h.id < dists_.size(), "invalid distribution handle");
+  DistEntry& e = dists_[h.id];
+  CHAOS_CHECK(!e.retired, "distribution epoch has been retired");
+  return e;
+}
+
+const Runtime::DistEntry& Runtime::dist_entry(DistHandle h) const {
+  CHAOS_CHECK(h.id < dists_.size(), "invalid distribution handle");
+  const DistEntry& e = dists_[h.id];
+  CHAOS_CHECK(!e.retired, "distribution epoch has been retired");
+  return e;
+}
+
+const Runtime::LoopEntry& Runtime::loop_entry(LoopHandle h) const {
+  CHAOS_CHECK(h.id < loops_.size(), "invalid loop handle");
+  return loops_[h.id];
+}
+
+const Runtime::ScheduleEntry& Runtime::checked(ScheduleHandle h) const {
+  CHAOS_CHECK(h.id < scheds_.size(), "invalid schedule handle");
+  const ScheduleEntry& e = scheds_[h.id];
+  CHAOS_CHECK(!e.revoked,
+              "one-shot schedule handle superseded by a newer inspect_once");
+  CHAOS_CHECK(!dists_[e.dist].retired,
+              "schedule bound to a retired distribution epoch");
+  if (e.kind == ScheduleKind::kRemap)
+    CHAOS_CHECK(!dists_[e.to_dist].retired,
+                "remap schedule targets a retired distribution epoch");
+  if (e.kind == ScheduleKind::kMerged ||
+      e.kind == ScheduleKind::kIncremental) {
+    const runtime::ScheduleRegistry& reg = dists_[e.dist].registry;
+    for (std::size_t i = 0; i < e.part_ids.size(); ++i)
+      CHAOS_CHECK(reg.revision(e.part_ids[i]) == e.part_revs[i],
+                  "derived schedule is stale: a component loop was "
+                  "re-inspected; re-derive it (rt.merge / rt.incremental)");
+  }
+  return e;
+}
+
+const core::Schedule& Runtime::schedule_of(const ScheduleEntry& e) const {
+  if (e.kind != ScheduleKind::kLoop) return e.sched;
+  const lang::LoopPlan* plan = dists_[e.dist].registry.find(e.ind_id);
+  CHAOS_CHECK(plan != nullptr, "loop has not been inspected in this epoch");
+  return plan->schedule;
+}
+
+GlobalIndex Runtime::extent_of(const ScheduleEntry& e) const {
+  if (e.kind != ScheduleKind::kLoop) return e.extent;
+  const lang::LoopPlan* plan = dists_[e.dist].registry.find(e.ind_id);
+  CHAOS_CHECK(plan != nullptr, "loop has not been inspected in this epoch");
+  return plan->local_extent;
+}
+
+}  // namespace chaos

@@ -1,0 +1,80 @@
+#include "runtime/schedule_registry.hpp"
+
+namespace chaos::runtime {
+
+const lang::LoopPlan& ScheduleRegistry::plan(sim::Comm& comm,
+                                             const lang::Distribution& dist,
+                                             const lang::IndirectionArray& ind) {
+  // Distribution change invalidates everything bound to the old epoch.
+  if (!hash_ || epoch_ != dist.epoch()) {
+    epoch_ = dist.epoch();
+    hash_ = std::make_unique<core::IndexHashTable>(
+        dist.owned_count(comm.rank()));
+    loops_.clear();
+  }
+
+  CachedLoop& entry = loops_[ind.id()];
+  const bool stale_here = entry.version != ind.version();
+
+  // The modification-record check the compiler emits: one rank's change
+  // forces every rank into the (collective) inspector. This small allreduce
+  // is the price of automatic reuse detection.
+  const int stale_anywhere = comm.allreduce_max(stale_here ? 1 : 0);
+  if (stale_anywhere == 0) {
+    ++stats_.reuses;
+    return entry.plan;
+  }
+  ++stats_.builds;
+  ++entry.revision;
+
+  // Clear the loop's previous stamp (if any) so the recycled bit marks the
+  // regenerated indirection array, exactly as the paper's CHARMM flow does.
+  if (entry.plan.stamp != 0) hash_->clear_stamp(entry.plan.stamp);
+
+  entry.plan.local_refs.assign(ind.values().begin(), ind.values().end());
+  entry.plan.stamp = hash_->hash(comm, dist.table(), entry.plan.local_refs);
+  entry.plan.schedule = core::build_schedule(
+      comm, *hash_, core::StampExpr::only(entry.plan.stamp));
+  entry.plan.local_extent = hash_->local_extent();
+  entry.version = ind.version();
+  return entry.plan;
+}
+
+const lang::LoopPlan* ScheduleRegistry::find(std::uint64_t ind_id) const {
+  auto it = loops_.find(ind_id);
+  return it == loops_.end() ? nullptr : &it->second.plan;
+}
+
+std::uint64_t ScheduleRegistry::revision(std::uint64_t ind_id) const {
+  auto it = loops_.find(ind_id);
+  return it == loops_.end() ? 0 : it->second.revision;
+}
+
+core::Stamp ScheduleRegistry::stamp_of(std::uint64_t ind_id) const {
+  const lang::LoopPlan* p = find(ind_id);
+  CHAOS_CHECK(p != nullptr,
+              "loop has no plan in this epoch; inspect it before deriving "
+              "merged/incremental schedules");
+  return p->stamp;
+}
+
+core::Schedule ScheduleRegistry::merged(
+    sim::Comm& comm, std::span<const std::uint64_t> ind_ids) const {
+  CHAOS_CHECK(hash_ != nullptr, "no inspector state in this epoch");
+  core::StampExpr expr;
+  for (std::uint64_t id : ind_ids) expr.include |= stamp_of(id);
+  CHAOS_CHECK(expr.include != 0, "empty merged loop set");
+  return core::build_schedule(comm, *hash_, expr);
+}
+
+core::Schedule ScheduleRegistry::incremental(
+    sim::Comm& comm, std::uint64_t wanted_id,
+    std::span<const std::uint64_t> covered_ids) const {
+  CHAOS_CHECK(hash_ != nullptr, "no inspector state in this epoch");
+  core::StampExpr expr;
+  expr.include = stamp_of(wanted_id);
+  for (std::uint64_t id : covered_ids) expr.exclude |= stamp_of(id);
+  return core::build_schedule(comm, *hash_, expr);
+}
+
+}  // namespace chaos::runtime

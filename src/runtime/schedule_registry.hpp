@@ -1,0 +1,88 @@
+// The unified schedule registry of the chaos::Runtime facade.
+//
+// One registry manages all inspector state for one distribution epoch: the
+// shared IndexHashTable, the per-loop cached LoopPlans (keyed by
+// IndirectionArray id, guarded by modification records exactly as the
+// Fortran 90D compiler's generated code does — paper §5.3.1), and the
+// derived merged / incremental schedules the paper builds from stamp
+// expressions (§3.2.2, Figure 6).
+//
+// The registry subsumes the old lang::InspectorCache: that class is now a
+// thin compatibility wrapper over a ScheduleRegistry. Runtime owns one
+// registry per live distribution.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/hash_table.hpp"
+#include "core/schedule.hpp"
+#include "lang/distribution.hpp"
+#include "lang/indirection.hpp"
+
+namespace chaos::runtime {
+
+using core::GlobalIndex;
+
+class ScheduleRegistry {
+ public:
+  /// Get the plan for the loop driven by `ind` over arrays aligned with
+  /// `dist`. Collective. Rebuilds when the indirection array or the
+  /// distribution changed anywhere on the machine; otherwise returns the
+  /// cached plan (and only pays the version check).
+  const lang::LoopPlan& plan(sim::Comm& comm, const lang::Distribution& dist,
+                             const lang::IndirectionArray& ind);
+
+  /// The cached plan for a loop previously planned in this epoch, or null.
+  const lang::LoopPlan* find(std::uint64_t ind_id) const;
+
+  /// How many times the loop's plan has been (re)built in this epoch. Used
+  /// by derived-schedule handles to detect staleness after re-inspection.
+  std::uint64_t revision(std::uint64_t ind_id) const;
+
+  /// Build a merged schedule (one gather serving several loops) over loops
+  /// already planned in this epoch. Collective.
+  core::Schedule merged(sim::Comm& comm,
+                        std::span<const std::uint64_t> ind_ids) const;
+
+  /// Build an incremental schedule: entries referenced by `wanted` but
+  /// already covered by none of `covered`. Collective.
+  core::Schedule incremental(sim::Comm& comm, std::uint64_t wanted_id,
+                             std::span<const std::uint64_t> covered_ids) const;
+
+  /// Statistics the benches report: how often preprocessing was reused.
+  struct Stats {
+    std::uint64_t builds = 0;
+    std::uint64_t reuses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The shared hash table for the current distribution epoch (for building
+  /// stamp-expression schedules on top of cached loops). Null before any
+  /// plan() call.
+  const core::IndexHashTable* hash_table() const { return hash_.get(); }
+
+  /// Size a local data array must have to hold owned + all ghost slots
+  /// assigned so far in this epoch (0 before any plan() call).
+  GlobalIndex local_extent() const {
+    return hash_ ? hash_->local_extent() : 0;
+  }
+
+ private:
+  struct CachedLoop {
+    std::uint64_t version = ~std::uint64_t{0};
+    std::uint64_t revision = 0;
+    lang::LoopPlan plan;
+  };
+
+  core::Stamp stamp_of(std::uint64_t ind_id) const;
+
+  std::uint64_t epoch_ = 0;  // distribution epoch the registry is bound to
+  std::unique_ptr<core::IndexHashTable> hash_;
+  std::map<std::uint64_t, CachedLoop> loops_;  // by IndirectionArray::id
+  Stats stats_;
+};
+
+}  // namespace chaos::runtime
