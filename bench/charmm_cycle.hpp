@@ -22,6 +22,13 @@ struct CharmmScaled {
   charmm::CharmmPhaseTimes phases;  // measured (unscaled) phase times
   double regen_per_update = 0;      // schedule regeneration per list update
   double nb_update_cost = 0;        // list rebuild cost per update
+
+  // Raw (unscaled) message accounting over the measured run, summed over
+  // ranks: physical messages, engine-coalesced messages, and the logical
+  // segments inside them (what a blocking executor would have sent).
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t coalesced_msgs = 0;
+  std::uint64_t coalesced_segments = 0;
 };
 
 /// Run `real_steps` steps (with one list update cadence of
@@ -40,6 +47,9 @@ inline CharmmScaled run_charmm_cycle(int nranks,
   CharmmScaled out;
   out.phases = r.phases;
   out.load_balance = r.load_balance;
+  out.msgs_sent = r.msgs_sent;
+  out.coalesced_msgs = r.coalesced_msgs;
+  out.coalesced_segments = r.coalesced_segments;
 
   const int regens = std::max(1, r.phases.nb_rebuilds - 1);
   out.regen_per_update = r.phases.schedule_regen / regens;

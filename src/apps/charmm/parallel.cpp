@@ -310,11 +310,12 @@ class Driver {
             bond_refs_ = rt_.local_refs(bond_loop_);
             jnb_local_ = rt_.local_refs(jnb_loop_);
 
-            if (use_merged()) {
+            if (shape() == CommShape::kMerged) {
               h_all_ = rt_.merge({h_bond_, h_nb_});
             } else {
               // Disjoint complement used for the scatter direction so
-              // overlapping ghost contributions are delivered exactly once.
+              // overlapping ghost contributions are delivered exactly once
+              // (both the blocking-multiple and engine-coalesced shapes).
               h_nb_excl_ = rt_.incremental(h_nb_, h_bond_);
             }
             extent_ = rt_.local_extent(dist_);
@@ -324,8 +325,14 @@ class Driver {
           });
   }
 
-  bool use_merged() const {
-    return cfg_.merged_schedules && !cfg_.compiler_generated;
+  /// Executor communication shape. The compiler-generated path keeps the
+  /// historical separate blocking schedules (Table 6 measures generated
+  /// code, not the engine).
+  enum class CommShape { kMerged, kMultiple, kEngine };
+  CommShape shape() const {
+    if (cfg_.compiler_generated) return CommShape::kMultiple;
+    if (cfg_.engine_coalesced) return CommShape::kEngine;
+    return cfg_.merged_schedules ? CommShape::kMerged : CommShape::kMultiple;
   }
 
   void executor_step() {
@@ -340,11 +347,22 @@ class Driver {
 
       std::span<part::Point3> pos{pos_.data(), pos_.size()};
       std::span<part::Vec3> force{force_.data(), force_.size()};
-      if (use_merged()) {
-        rt_.gather<part::Point3>(h_all_, pos);
-      } else {
-        rt_.gather<part::Point3>(h_bond_, pos);
-        rt_.gather<part::Point3>(h_nb_, pos);
+      switch (shape()) {
+        case CommShape::kMerged:
+          rt_.gather<part::Point3>(h_all_, pos);
+          break;
+        case CommShape::kMultiple:
+          rt_.gather<part::Point3>(h_bond_, pos);
+          rt_.gather<part::Point3>(h_nb_, pos);
+          break;
+        case CommShape::kEngine:
+          // Independent force-phase gathers posted into one batch: one
+          // coalesced message per peer carries both loops' ghost traffic.
+          rt_.gather_async<part::Point3>(h_bond_, pos);
+          rt_.gather_async<part::Point3>(h_nb_, pos);
+          rt_.comm_flush();
+          rt_.comm_wait_all();
+          break;
       }
 
       std::fill(force_.begin(), force_.end(), part::Vec3{});
@@ -378,11 +396,20 @@ class Driver {
       }
       comm_.charge_work(static_cast<double>(nb_.pairs()) * kWorkPerNonbonded);
 
-      if (use_merged()) {
-        rt_.scatter_add<part::Vec3>(h_all_, force);
-      } else {
-        rt_.scatter_add<part::Vec3>(h_bond_, force);
-        rt_.scatter_add<part::Vec3>(h_nb_excl_, force);
+      switch (shape()) {
+        case CommShape::kMerged:
+          rt_.scatter_add<part::Vec3>(h_all_, force);
+          break;
+        case CommShape::kMultiple:
+          rt_.scatter_add<part::Vec3>(h_bond_, force);
+          rt_.scatter_add<part::Vec3>(h_nb_excl_, force);
+          break;
+        case CommShape::kEngine:
+          rt_.scatter_add_async<part::Vec3>(h_bond_, force);
+          rt_.scatter_add_async<part::Vec3>(h_nb_excl_, force);
+          rt_.comm_flush();
+          rt_.comm_wait_all();
+          break;
       }
 
       // Integrate owned atoms.
@@ -475,6 +502,12 @@ ParallelCharmmResult run_parallel_charmm(sim::Machine& machine,
   result.computation_time = machine.mean_compute_time();
   result.communication_time = machine.mean_comm_time();
   result.load_balance = machine.load_balance();
+  for (int r = 0; r < machine.size(); ++r) {
+    const sim::RankStats& s = machine.stats(r);
+    result.msgs_sent += s.msgs_sent;
+    result.coalesced_msgs += s.coalesced_msgs_sent;
+    result.coalesced_segments += s.coalesced_segments;
+  }
   return result;
 }
 

@@ -22,6 +22,14 @@ struct ParallelCharmmConfig {
   /// non-bonded loops vs separate per-loop schedules.
   bool merged_schedules = true;
 
+  /// Engine-coalesced posting: keep the per-loop schedules separate (no
+  /// compile-time merge) but post both loops' gathers/scatters through the
+  /// comm engine in one batch, so each flush sends at most one message per
+  /// peer. Takes precedence over merged_schedules. The run-time counterpart
+  /// of schedule merging — shared off-processor atoms are still fetched
+  /// once per schedule, but the per-message overheads collapse.
+  bool engine_coalesced = false;
+
   /// Table 6 mode: re-partition + remap every k steps (0 = partition once),
   /// alternating RCB and RIB as the paper does.
   int repartition_every = 0;
@@ -58,6 +66,14 @@ struct ParallelCharmmResult {
   double computation_time = 0;
   double communication_time = 0;
   double load_balance = 0;
+  /// Message accounting summed over ranks (from sim::RankStats): physical
+  /// messages, and the engine's coalescing counters — segments is the
+  /// number of logical per-schedule messages a blocking executor would have
+  /// sent for the same traffic.
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t coalesced_msgs = 0;
+  std::uint64_t coalesced_segments = 0;
+
   /// Global state in global-id order (only when collect_state).
   std::vector<part::Point3> pos;
   std::vector<part::Vec3> force;

@@ -268,14 +268,21 @@ class Driver {
                                     centers, weights, p_.n_cells());
       }
 
-      // Migrate particles to the new owners of their cells.
+      // Migrate particles to the new owners of their cells, posted through
+      // the comm engine so the transfer overlaps the local rebuild of the
+      // cell ownership structures (which needs only the new map, not the
+      // arrivals): post -> flush -> rebuild -> wait.
       std::vector<int> dest(mine_.size());
       for (std::size_t i = 0; i < mine_.size(); ++i)
         dest[i] = new_map[static_cast<size_t>(cell_of(p_, mine_[i]))];
       std::vector<Particle> arrived;
-      rt_.migrate<Particle>(dest, mine_, arrived);
-      mine_ = std::move(arrived);
+      arrived.reserve(mine_.size());
+      const comm::CommHandle mig =
+          rt_.migrate_async<Particle>(dest, mine_, arrived);
+      rt_.comm_flush();
       adopt_map(std::move(new_map));
+      rt_.comm_wait(mig);
+      mine_ = std::move(arrived);
     });
   }
 

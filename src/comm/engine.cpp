@@ -1,0 +1,128 @@
+#include "comm/engine.hpp"
+
+#include <algorithm>
+
+namespace chaos::comm {
+
+void Engine::expect_in(Batch& b, int peer, std::uint32_t id,
+                       std::uint32_t part, std::size_t bytes) {
+  CHAOS_CHECK(peer >= 0 && peer < comm_.size(),
+              "schedule peer out of range");
+  // Keep incoming peers sorted ascending; segments to the same peer
+  // append in post order.
+  auto it = std::lower_bound(
+      b.incoming.begin(), b.incoming.end(), peer,
+      [](const PeerIncoming& pi, int p) { return pi.peer < p; });
+  if (it == b.incoming.end() || it->peer != peer) {
+    CHAOS_CHECK(b.next == 0,
+                "cannot post into a batch that is being received");
+    it = b.incoming.insert(it, PeerIncoming{peer, {}, 0});
+  }
+  it->segments.push_back(Segment{id, part, bytes});
+  it->total_bytes += bytes;
+  ++ops_[id].remaining;
+}
+
+void Engine::flush() {
+  if (open_ == kNone) return;
+  Batch& b = batches_[open_];
+  // Every rank with an open batch draws exactly one tag here; posts are
+  // collective, so the open-batch pattern — and therefore the machine-wide
+  // tag sequence — is identical on every rank.
+  b.tag = comm_.fresh_tag();
+  for (auto& [peer, bytes] : b.out_bytes) {
+    comm_.send<std::byte>(peer, b.tag, bytes);
+    // Only messages that actually packed several operations' segments
+    // count as coalesced: single-segment engine sends are indistinguishable
+    // on the wire from blocking sends, and counting them would dilute the
+    // segments-per-message reduction factor the benches report.
+    if (b.out_segments[peer] >= 2)
+      comm_.note_coalesced_send(b.out_segments[peer], bytes.size());
+  }
+  b.sent = true;
+  b.out_bytes.clear();
+  b.out_segments.clear();
+  open_ = kNone;
+}
+
+void Engine::deliver(Batch& b, PeerIncoming& pi,
+                     std::span<const std::byte> payload) {
+  CHAOS_CHECK(payload.size() == pi.total_bytes,
+              "coalesced message size does not match expected segments");
+  std::size_t at = 0;
+  for (const Segment& seg : pi.segments) {
+    Op& op = ops_[seg.op];
+    CHAOS_ASSERT(op.remaining > 0);
+    op.unpack(seg.part, payload.subspan(at, seg.bytes));
+    at += seg.bytes;
+    if (--op.remaining == 0) {
+      // Release the completed operation's heavy state (captured closures,
+      // kept-alive schedules) immediately; the small Op record stays so
+      // the handle remains queryable.
+      op.unpack = nullptr;
+      op.keepalive.reset();
+    }
+  }
+}
+
+bool Engine::receive_one(bool blocking) {
+  while (recv_batch_ < batches_.size()) {
+    Batch& b = batches_[recv_batch_];
+    if (!b.sent) return false;  // the open batch; nothing in flight yet
+    if (b.next == b.incoming.size()) {
+      ++recv_batch_;
+      continue;
+    }
+    PeerIncoming& pi = b.incoming[b.next];
+    std::vector<std::byte> payload;
+    if (blocking) {
+      payload = comm_.recv<std::byte>(pi.peer, b.tag);
+    } else if (!comm_.try_recv<std::byte>(pi.peer, b.tag, payload)) {
+      return false;
+    }
+    deliver(b, pi, payload);
+    if (++b.next == b.incoming.size()) {
+      // Fully received: release the segment bookkeeping. The loop's skip
+      // condition (next == size, both now 0) advances recv_batch_ past
+      // this batch on the next call.
+      b.incoming = {};
+      b.next = 0;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Engine::wait(CommHandle h) {
+  CHAOS_CHECK(h.id < ops_.size(), "invalid comm handle");
+  // Flush h's batch even when h itself already completed at post time:
+  // other ranks' share of the same collective operation may carry traffic,
+  // and the tag draw must stay in lockstep machine-wide.
+  if (ops_[h.id].batch != kNone && !batches_[ops_[h.id].batch].sent &&
+      ops_[h.id].batch == open_) {
+    flush();
+  }
+  while (ops_[h.id].remaining > 0) {
+    const bool progressed = receive_one(/*blocking=*/true);
+    CHAOS_CHECK(progressed,
+                "wait would deadlock: operation's batch was never flushed");
+  }
+}
+
+void Engine::wait_all() {
+  flush();
+  while (receive_one(/*blocking=*/true)) {
+  }
+  for (const Op& op : ops_)
+    CHAOS_ASSERT(op.remaining == 0);
+}
+
+bool Engine::test(CommHandle h) {
+  CHAOS_CHECK(h.id < ops_.size(), "invalid comm handle");
+  while (ops_[h.id].remaining > 0) {
+    if (!receive_one(/*blocking=*/false)) break;
+  }
+  return ops_[h.id].remaining == 0;
+}
+
+}  // namespace chaos::comm

@@ -1,0 +1,458 @@
+// The communication engine: asynchronous, batched gather/scatter (the
+// executor's plan -> post -> flush -> wait pipeline).
+//
+// The paper's executor wins come from message vectorization and schedule
+// merging (§3.2.1, Table 3). The blocking free functions in
+// core/transport.hpp realize vectorization one schedule at a time: each
+// call is a synchronous round-trip, so independent schedules serialize and
+// two loops' ghost traffic to the same peer goes out as two messages. The
+// Engine makes communication first-class instead:
+//
+//   comm::Engine engine(comm);
+//   auto ha = engine.post_gather<double>(sched_a, xa);   // stage only
+//   auto hb = engine.post_gather<double>(sched_b, xb);   // same batch
+//   engine.flush();      // ONE coalesced message per peer for a AND b
+//   ...local work overlapped with the transfers...
+//   engine.wait(ha);     // or wait_all() / test(ha)
+//
+// Posting packs outgoing elements into a per-peer coalescer and records the
+// segments the rank expects back; no message leaves until flush(). A flush
+// closes the open batch under one fresh tag and sends at most one message
+// per peer, regardless of how many operations were posted — the run-time
+// counterpart of compile-time schedule merging, without requiring the
+// schedules to share a hash table. Successive batches use distinct tags, so
+// independent batches may be in flight simultaneously and waited out of
+// order.
+//
+// SPMD contract (same as the blocking functions, stated batch-wise): every
+// rank posts the same logical sequence of operations into the same batches
+// and flushes/waits at the same points. wait(h) flushes h's batch if it is
+// still open — even when h completed locally at post time — so the
+// machine-wide tag sequence stays in lockstep on ranks whose share of an
+// operation happens to be empty.
+//
+// Lifetimes: the data span, and for schedule-based posts the Schedule
+// itself, must stay valid until the operation completes (post_migrate takes
+// its LightweightSchedule by value and keeps it alive internally). Do not
+// re-inspect or rebuild a schedule while an operation posted on it is in
+// flight.
+//
+// Determinism: incoming batches are consumed in post order and, within a
+// batch, in ascending peer order — the same combining order as the
+// blocking executor — so results are independent of OS scheduling.
+// test() only consumes messages that have arrived in *modeled* time (the
+// mailbox probe is gated on this rank's virtual clock), so a probe can
+// never pull virtual time forward; a polling loop must charge its own
+// work to make virtual progress, and how many polls it needs is the one
+// place real-time scheduling can show through (as with MPI_Test).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "core/lightweight.hpp"
+#include "core/schedule.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos::comm {
+
+using core::GlobalIndex;
+
+/// Handle to one posted communication operation. Cheap value type. Valid
+/// from the post until the engine next goes fully idle (every operation
+/// complete, no open batch) AND a new operation is posted — at that point
+/// the drained bookkeeping is recycled and old handles must not be used.
+struct CommHandle {
+  std::uint32_t id = ~std::uint32_t{0};
+  friend bool operator==(const CommHandle&, const CommHandle&) = default;
+};
+
+class Engine {
+ public:
+  explicit Engine(sim::Comm& comm) : comm_(comm) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  sim::Comm& comm() { return comm_; }
+
+  // ---- posting -------------------------------------------------------
+
+  /// Forward execution between two arrays (remap shape): read src at send
+  /// indices, deliver, place incoming at dst recv indices. Self-blocks are
+  /// copied at post time.
+  template <typename T>
+  CommHandle post_transport(const core::Schedule& sched,
+                            std::span<const T> src, std::span<T> dst);
+
+  /// Gather: fetch off-processor elements into the ghost region of `data`
+  /// (which spans owned + ghost).
+  template <typename T>
+  CommHandle post_gather(const core::Schedule& sched, std::span<T> data) {
+    return post_transport<T>(sched, data, data);
+  }
+
+  /// Transpose execution with a combiner: ship ghost values back to owners;
+  /// each owner applies `combine(owned, incoming)` at the original send
+  /// indices.
+  template <typename T, typename Combine>
+  CommHandle post_scatter_op(const core::Schedule& sched, std::span<T> data,
+                             Combine combine);
+
+  template <typename T>
+  CommHandle post_scatter(const core::Schedule& sched, std::span<T> data) {
+    return post_scatter_op<T>(
+        sched, data, [](const T&, const T& incoming) { return incoming; });
+  }
+
+  template <typename T>
+  CommHandle post_scatter_add(const core::Schedule& sched,
+                              std::span<T> data) {
+    return post_scatter_op<T>(
+        sched, data,
+        [](const T& own, const T& incoming) { return own + incoming; });
+  }
+
+  /// Light-weight migration: move `items` per the schedule, appending every
+  /// item that now lives on this rank to `out` (items that stayed local
+  /// first, then arrivals in ascending source rank, like scatter_append).
+  /// Takes the schedule by value and keeps it alive until completion.
+  template <typename T>
+  CommHandle post_migrate(core::LightweightSchedule sched,
+                          std::span<const T> items, std::vector<T>& out);
+
+  // ---- progress ------------------------------------------------------
+
+  /// Close the open batch: send one coalesced message per peer with any
+  /// staged traffic, under one fresh tag. No-op when nothing was posted
+  /// since the last flush.
+  void flush();
+
+  /// Complete `h`: flush its batch if still open, then receive (in batch /
+  /// ascending-peer order) until every segment of `h` has been unpacked.
+  void wait(CommHandle h);
+
+  /// Complete every posted operation (flushes first).
+  void wait_all();
+
+  /// Non-blocking completion probe: drains any already-arrived messages of
+  /// flushed batches, then reports whether `h` is complete. Never flushes
+  /// and never blocks — an operation in a still-open batch reports false.
+  bool test(CommHandle h);
+
+  /// True when `h` has completed (no progress attempted).
+  bool done(CommHandle h) const {
+    CHAOS_CHECK(h.id < ops_.size(), "invalid comm handle");
+    return ops_[h.id].remaining == 0;
+  }
+
+  /// True when no operation is outstanding and no batch is open. Runtime
+  /// epoch retirement and registry compaction require an idle engine.
+  bool idle() const {
+    if (open_ != kNone) return false;
+    for (const Op& op : ops_)
+      if (op.remaining > 0) return false;
+    return true;
+  }
+
+  /// Operations posted and not yet complete (including an open batch).
+  std::size_t in_flight() const {
+    std::size_t n = 0;
+    for (const Op& op : ops_)
+      if (op.remaining > 0) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Op {
+    std::uint32_t batch = kNone;
+    std::size_t remaining = 0;  ///< incoming segments still to unpack
+    /// Consumes the op's `part`-th expected segment (post order), so
+    /// schedules with several blocks for the same peer resolve correctly.
+    std::function<void(std::uint32_t part, std::span<const std::byte>)> unpack;
+    std::shared_ptr<void> keepalive;  ///< e.g. the moved-in LightweightSchedule
+  };
+
+  struct Segment {
+    std::uint32_t op = 0;
+    std::uint32_t part = 0;  ///< ordinal among the op's expected segments
+    std::size_t bytes = 0;
+  };
+
+  struct PeerIncoming {
+    int peer = -1;
+    std::vector<Segment> segments;  ///< in post order
+    std::size_t total_bytes = 0;
+  };
+
+  struct Batch {
+    int tag = 0;
+    bool sent = false;
+    std::vector<PeerIncoming> incoming;  ///< ascending peer
+    std::size_t next = 0;                ///< receive progress
+    // Outgoing coalescer, dropped at flush.
+    std::map<int, std::vector<std::byte>> out_bytes;
+    std::map<int, std::uint64_t> out_segments;
+  };
+
+  /// The open batch, creating one if needed; returns its index. Opening a
+  /// fresh batch on a fully drained engine first discards the completed
+  /// bookkeeping, so a long-lived engine's memory stays bounded by its
+  /// in-flight traffic (this is what invalidates pre-idle handles).
+  std::uint32_t open_batch() {
+    if (open_ == kNone) {
+      // idle() implies every segment was delivered (undelivered segments
+      // keep their op's `remaining` nonzero), so the whole history is
+      // droppable even if receive progress never visited trailing batches
+      // with no incoming traffic.
+      if (idle()) {
+        ops_.clear();
+        batches_.clear();
+        recv_batch_ = 0;
+      }
+      batches_.emplace_back();
+      open_ = static_cast<std::uint32_t>(batches_.size() - 1);
+    }
+    return open_;
+  }
+
+  /// Append outgoing payload for `peer` to the open batch's coalescer.
+  void stage_out(Batch& b, int peer, std::span<const std::byte> bytes) {
+    auto& buf = b.out_bytes[peer];
+    buf.insert(buf.end(), bytes.begin(), bytes.end());
+    ++b.out_segments[peer];
+  }
+
+  /// Record that op `id` expects its `part`-th segment, of `bytes`, from
+  /// `peer` in batch `b` (maintains ascending peer order; posts arrive
+  /// peer-ascending per op, but different ops may interleave peers
+  /// arbitrarily).
+  void expect_in(Batch& b, int peer, std::uint32_t id, std::uint32_t part,
+                 std::size_t bytes);
+
+  /// Receive one pending coalesced message (FIFO batch order, ascending
+  /// peer within a batch) and unpack its segments. Blocking variant waits;
+  /// non-blocking returns false if the next message has not arrived (or
+  /// nothing is in flight).
+  bool receive_one(bool blocking);
+
+  void deliver(Batch& b, PeerIncoming& pi, std::span<const std::byte> payload);
+
+  sim::Comm& comm_;
+  std::vector<Op> ops_;
+  std::vector<Batch> batches_;
+  std::size_t recv_batch_ = 0;  ///< first batch not fully received
+  std::uint32_t open_ = kNone;
+};
+
+// ---- template implementations ---------------------------------------------
+
+template <typename T>
+CommHandle Engine::post_transport(const core::Schedule& sched,
+                                  std::span<const T> src, std::span<T> dst) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int me = comm_.rank();
+  const std::uint32_t batch_id = open_batch();
+  const auto id = static_cast<std::uint32_t>(ops_.size());
+  ops_.emplace_back();
+  Batch& b = batches_[batch_id];
+
+  const core::ScheduleBlock* self_send = nullptr;
+  const core::ScheduleBlock* self_recv = nullptr;
+
+  std::vector<T> buf;
+  for (const auto& blk : sched.send_blocks()) {
+    if (blk.proc == me) {
+      self_send = &blk;
+      continue;
+    }
+    buf.clear();
+    buf.reserve(blk.indices.size());
+    for (GlobalIndex i : blk.indices) {
+      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
+                  "schedule send index outside source array");
+      buf.push_back(src[static_cast<std::size_t>(i)]);
+    }
+    comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+    stage_out(b, blk.proc,
+              {reinterpret_cast<const std::byte*>(buf.data()),
+               buf.size() * sizeof(T)});
+  }
+
+  std::vector<const core::ScheduleBlock*> in_blocks;  // post order
+  for (const auto& blk : sched.recv_blocks()) {
+    if (blk.proc == me) {
+      self_recv = &blk;
+      continue;
+    }
+    expect_in(b, blk.proc, id,
+              static_cast<std::uint32_t>(in_blocks.size()),
+              blk.indices.size() * sizeof(T));
+    in_blocks.push_back(&blk);
+  }
+
+  // Self-block: straight copy at post time, no messages.
+  if (self_send || self_recv) {
+    CHAOS_CHECK(self_send && self_recv &&
+                    self_send->indices.size() == self_recv->indices.size(),
+                "self send/recv blocks must pair up");
+    for (std::size_t k = 0; k < self_send->indices.size(); ++k) {
+      const GlobalIndex s = self_send->indices[k];
+      const GlobalIndex d = self_recv->indices[k];
+      CHAOS_CHECK(s >= 0 && static_cast<std::size_t>(s) < src.size());
+      CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < dst.size());
+      dst[static_cast<std::size_t>(d)] = src[static_cast<std::size_t>(s)];
+    }
+    comm_.charge_work(
+        core::costs::pack_work(self_send->indices.size(), sizeof(T)));
+  }
+
+  Op& op = ops_[id];
+  op.batch = batch_id;
+  if (op.remaining > 0) {
+    op.unpack = [this, blocks = std::move(in_blocks), dst_data = dst.data(),
+                 dst_size = dst.size()](std::uint32_t part,
+                                        std::span<const std::byte> bytes) {
+      const core::ScheduleBlock* blk = blocks[part];
+      CHAOS_CHECK(bytes.size() == blk->indices.size() * sizeof(T),
+                  "incoming segment size does not match schedule");
+      for (std::size_t k = 0; k < blk->indices.size(); ++k) {
+        const GlobalIndex d = blk->indices[k];
+        CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < dst_size,
+                    "schedule recv index outside destination array");
+        std::memcpy(dst_data + static_cast<std::size_t>(d),
+                    bytes.data() + k * sizeof(T), sizeof(T));
+      }
+      comm_.charge_work(
+          core::costs::pack_work(blk->indices.size(), sizeof(T)));
+    };
+  }
+  return CommHandle{id};
+}
+
+template <typename T, typename Combine>
+CommHandle Engine::post_scatter_op(const core::Schedule& sched,
+                                   std::span<T> data, Combine combine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int me = comm_.rank();
+  const std::uint32_t batch_id = open_batch();
+  const auto id = static_cast<std::uint32_t>(ops_.size());
+  ops_.emplace_back();
+  Batch& b = batches_[batch_id];
+
+  std::vector<T> buf;
+  for (const auto& blk : sched.recv_blocks()) {
+    CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
+    buf.clear();
+    buf.reserve(blk.indices.size());
+    for (GlobalIndex i : blk.indices) {
+      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
+      buf.push_back(data[static_cast<std::size_t>(i)]);
+    }
+    comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+    stage_out(b, blk.proc,
+              {reinterpret_cast<const std::byte*>(buf.data()),
+               buf.size() * sizeof(T)});
+  }
+
+  std::vector<const core::ScheduleBlock*> in_blocks;  // post order
+  for (const auto& blk : sched.send_blocks()) {
+    CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
+    expect_in(b, blk.proc, id,
+              static_cast<std::uint32_t>(in_blocks.size()),
+              blk.indices.size() * sizeof(T));
+    in_blocks.push_back(&blk);
+  }
+
+  Op& op = ops_[id];
+  op.batch = batch_id;
+  if (op.remaining > 0) {
+    op.unpack = [this, blocks = std::move(in_blocks), data_ptr = data.data(),
+                 data_size = data.size(),
+                 combine](std::uint32_t part,
+                          std::span<const std::byte> bytes) {
+      const core::ScheduleBlock* blk = blocks[part];
+      CHAOS_CHECK(bytes.size() == blk->indices.size() * sizeof(T),
+                  "incoming segment size does not match schedule");
+      for (std::size_t k = 0; k < blk->indices.size(); ++k) {
+        const GlobalIndex d = blk->indices[k];
+        CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < data_size);
+        T incoming;
+        std::memcpy(&incoming, bytes.data() + k * sizeof(T), sizeof(T));
+        data_ptr[static_cast<std::size_t>(d)] =
+            combine(data_ptr[static_cast<std::size_t>(d)], incoming);
+      }
+      comm_.charge_work(
+          core::costs::pack_work(blk->indices.size(), sizeof(T)));
+    };
+  }
+  return CommHandle{id};
+}
+
+template <typename T>
+CommHandle Engine::post_migrate(core::LightweightSchedule sched,
+                                std::span<const T> items,
+                                std::vector<T>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint32_t batch_id = open_batch();
+  const auto id = static_cast<std::uint32_t>(ops_.size());
+  ops_.emplace_back();
+  Batch& b = batches_[batch_id];
+
+  auto kept = std::make_shared<core::LightweightSchedule>(std::move(sched));
+
+  std::vector<T> buf;
+  for (const auto& blk : kept->send_blocks()) {
+    buf.clear();
+    buf.reserve(blk.indices.size());
+    for (GlobalIndex i : blk.indices) {
+      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < items.size(),
+                  "schedule item position outside item array");
+      buf.push_back(items[static_cast<std::size_t>(i)]);
+    }
+    comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+    stage_out(b, blk.proc,
+              {reinterpret_cast<const std::byte*>(buf.data()),
+               buf.size() * sizeof(T)});
+  }
+
+  // Items that stay local are appended at post time, before any arrival —
+  // the same deterministic order as the blocking scatter_append.
+  for (GlobalIndex i : kept->self_positions()) {
+    CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < items.size());
+    out.push_back(items[static_cast<std::size_t>(i)]);
+  }
+
+  std::uint32_t parts = 0;
+  for (const auto& [proc, count] : kept->fetch_counts())
+    expect_in(b, proc, id, parts++,
+              static_cast<std::size_t>(count) * sizeof(T));
+
+  Op& op = ops_[id];
+  op.batch = batch_id;
+  op.keepalive = kept;
+  if (op.remaining > 0) {
+    op.unpack = [this, kept_raw = kept.get(), &out](
+                    std::uint32_t part, std::span<const std::byte> bytes) {
+      const GlobalIndex expected = kept_raw->fetch_counts()[part].second;
+      CHAOS_CHECK(bytes.size() ==
+                      static_cast<std::size_t>(expected) * sizeof(T),
+                  "incoming item count does not match schedule");
+      const std::size_t n = bytes.size() / sizeof(T);
+      const std::size_t at = out.size();
+      out.resize(at + n);
+      std::memcpy(out.data() + at, bytes.data(), bytes.size());
+      comm_.charge_work(core::costs::pack_work(n, sizeof(T)));
+    };
+  }
+  return CommHandle{id};
+}
+
+}  // namespace chaos::comm

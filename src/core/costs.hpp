@@ -9,6 +9,8 @@
 // paper's tables are sensitive only to these ratios, not absolute values.
 #pragma once
 
+#include <cstddef>
+
 namespace chaos::core::costs {
 
 /// Hashing an index that was not yet in the table (insert + slot
@@ -38,5 +40,12 @@ inline constexpr double kPackWord = 0.4;
 /// Building one entry of a light-weight schedule (a counter increment and a
 /// bucket append; no hashing, no translation).
 inline constexpr double kLightweightEntry = 1.2;
+
+/// Pack/unpack work for `elements` items of `elem_bytes` each (whole-word
+/// granularity, matching the per-word copy loops of the executor).
+inline double pack_work(std::size_t elements, std::size_t elem_bytes) {
+  const double words = static_cast<double>((elem_bytes + 7) / 8);
+  return static_cast<double>(elements) * words * kPackWord;
+}
 
 }  // namespace chaos::core::costs

@@ -80,6 +80,13 @@ class IndexHashTable {
   std::size_t live_entries() const;
   const Stats& stats() const { return stats_; }
 
+  /// Approximate heap footprint (entry + open-addressing storage), for
+  /// registry memory accounting (Runtime::compact).
+  std::size_t footprint_bytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           index_.capacity() * sizeof(std::int32_t);
+  }
+
   /// Visit live entries matching `expr` in insertion order.
   template <typename Fn>
   void for_each_matching(StampExpr expr, Fn&& fn) const {

@@ -19,7 +19,6 @@
 
 #include "core/costs.hpp"
 #include "core/schedule.hpp"
-#include "core/transport.hpp"
 #include "sim/machine.hpp"
 
 namespace chaos::core {
@@ -114,7 +113,7 @@ void scatter_append(sim::Comm& comm, const LightweightSchedule& sched,
                   "schedule item position outside item array");
       buf.push_back(items[static_cast<std::size_t>(i)]);
     }
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
+    comm.charge_work(costs::pack_work(buf.size(), sizeof(T)));
     comm.send<T>(b.proc, tag, buf);
   }
 
@@ -128,7 +127,7 @@ void scatter_append(sim::Comm& comm, const LightweightSchedule& sched,
     CHAOS_CHECK(static_cast<GlobalIndex>(buf.size()) == count,
                 "incoming item count does not match schedule");
     out.insert(out.end(), buf.begin(), buf.end());
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
+    comm.charge_work(costs::pack_work(buf.size(), sizeof(T)));
   }
 }
 

@@ -76,6 +76,16 @@ class Schedule {
     return out;
   }
 
+  /// Approximate heap footprint (index storage), for registry memory
+  /// accounting (Runtime::compact).
+  std::size_t footprint_bytes() const {
+    std::size_t n = 0;
+    for (const auto& b : send_) n += b.indices.capacity();
+    for (const auto& b : recv_) n += b.indices.capacity();
+    return n * sizeof(GlobalIndex) +
+           (send_.capacity() + recv_.capacity()) * sizeof(ScheduleBlock);
+  }
+
  private:
   std::vector<ScheduleBlock> send_;
   std::vector<ScheduleBlock> recv_;

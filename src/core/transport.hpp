@@ -12,29 +12,31 @@
 //                  remap, where data pushes from old owners to new owners,
 //                  including a self-block for elements that stay put).
 //
+// These free functions are the blocking compatibility surface over
+// comm::Engine (comm/engine.hpp): each call posts one operation, flushes,
+// and waits — one message per peer, receives in ascending peer order. For
+// inspector-built schedules (one block per peer, the invariant
+// build_schedule maintains) message counts, combining order, and
+// virtual-time charges match the historical hand-rolled loops exactly;
+// hand-built schedules with several blocks to the same peer now coalesce
+// those blocks into one message per peer (block i still pairs with the
+// receiver's block i). Code that wants to overlap independent schedules
+// or coalesce several schedules' traffic into one message per peer should
+// post through an Engine (or the Runtime's *_async methods) instead.
+//
 // All functions are collective and deadlock-free: every rank first issues
 // all its sends (mailboxes are unbounded), then receives in ascending peer
 // order.
 #pragma once
 
-#include <functional>
 #include <span>
-#include <vector>
 
+#include "comm/engine.hpp"
 #include "core/costs.hpp"
 #include "core/schedule.hpp"
 #include "sim/machine.hpp"
 
 namespace chaos::core {
-
-namespace detail {
-
-inline double pack_work(std::size_t elements, std::size_t elem_bytes) {
-  const double words = static_cast<double>((elem_bytes + 7) / 8);
-  return static_cast<double>(elements) * words * costs::kPackWord;
-}
-
-}  // namespace detail
 
 /// Forward execution between two arrays: read src at send indices, deliver
 /// to each peer, place incoming at dst recv indices. A self-block (proc ==
@@ -42,72 +44,16 @@ inline double pack_work(std::size_t elements, std::size_t elem_bytes) {
 template <typename T>
 void transport(sim::Comm& comm, const Schedule& sched, std::span<const T> src,
                std::span<T> dst) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const int me = comm.rank();
-  const int tag = comm.fresh_tag();
-
-  const ScheduleBlock* self_send = nullptr;
-  const ScheduleBlock* self_recv = nullptr;
-
-  for (const auto& b : sched.send_blocks()) {
-    if (b.proc == me) {
-      self_send = &b;
-      continue;
-    }
-    std::vector<T> buf;
-    buf.reserve(b.indices.size());
-    for (GlobalIndex i : b.indices) {
-      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
-                  "schedule send index outside source array");
-      buf.push_back(src[static_cast<std::size_t>(i)]);
-    }
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
-    comm.send<T>(b.proc, tag, buf);
-  }
-
-  for (const auto& b : sched.recv_blocks()) {
-    if (b.proc == me) {
-      self_recv = &b;
-      continue;
-    }
-  }
-
-  // Self-block: straight copy, no messages.
-  if (self_send || self_recv) {
-    CHAOS_CHECK(self_send && self_recv &&
-                    self_send->indices.size() == self_recv->indices.size(),
-                "self send/recv blocks must pair up");
-    for (std::size_t k = 0; k < self_send->indices.size(); ++k) {
-      const GlobalIndex s = self_send->indices[k];
-      const GlobalIndex d = self_recv->indices[k];
-      CHAOS_CHECK(s >= 0 && static_cast<std::size_t>(s) < src.size());
-      CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < dst.size());
-      dst[static_cast<std::size_t>(d)] = src[static_cast<std::size_t>(s)];
-    }
-    comm.charge_work(
-        detail::pack_work(self_send->indices.size(), sizeof(T)));
-  }
-
-  for (const auto& b : sched.recv_blocks()) {
-    if (b.proc == me) continue;
-    std::vector<T> buf = comm.recv<T>(b.proc, tag);
-    CHAOS_CHECK(buf.size() == b.indices.size(),
-                "incoming message size does not match schedule");
-    for (std::size_t k = 0; k < buf.size(); ++k) {
-      const GlobalIndex d = b.indices[k];
-      CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < dst.size(),
-                  "schedule recv index outside destination array");
-      dst[static_cast<std::size_t>(d)] = buf[k];
-    }
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
-  }
+  comm::Engine engine(comm);
+  engine.wait(engine.post_transport<T>(sched, src, dst));
 }
 
 /// Gather: fetch one copy of every off-processor element this schedule
 /// covers into the ghost region of `data` (which spans owned + ghost).
 template <typename T>
 void gather(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
-  transport<T>(comm, sched, data, data);
+  comm::Engine engine(comm);
+  engine.wait(engine.post_gather<T>(sched, data));
 }
 
 /// Transpose execution with a combiner: ship ghost values back to owners;
@@ -115,35 +61,8 @@ void gather(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
 template <typename T, typename Op>
 void scatter_op(sim::Comm& comm, const Schedule& sched, std::span<T> data,
                 Op op) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const int me = comm.rank();
-  const int tag = comm.fresh_tag();
-
-  for (const auto& b : sched.recv_blocks()) {
-    CHAOS_CHECK(b.proc != me, "scatter does not support self-blocks");
-    std::vector<T> buf;
-    buf.reserve(b.indices.size());
-    for (GlobalIndex i : b.indices) {
-      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
-      buf.push_back(data[static_cast<std::size_t>(i)]);
-    }
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
-    comm.send<T>(b.proc, tag, buf);
-  }
-
-  for (const auto& b : sched.send_blocks()) {
-    CHAOS_CHECK(b.proc != me, "scatter does not support self-blocks");
-    std::vector<T> buf = comm.recv<T>(b.proc, tag);
-    CHAOS_CHECK(buf.size() == b.indices.size(),
-                "incoming message size does not match schedule");
-    for (std::size_t k = 0; k < buf.size(); ++k) {
-      const GlobalIndex d = b.indices[k];
-      CHAOS_CHECK(d >= 0 && static_cast<std::size_t>(d) < data.size());
-      data[static_cast<std::size_t>(d)] =
-          op(data[static_cast<std::size_t>(d)], buf[k]);
-    }
-    comm.charge_work(detail::pack_work(buf.size(), sizeof(T)));
-  }
+  comm::Engine engine(comm);
+  engine.wait(engine.post_scatter_op<T>(sched, data, op));
 }
 
 /// Scatter with replacement (last writer per element wins; with CHAOS-built
@@ -152,16 +71,16 @@ void scatter_op(sim::Comm& comm, const Schedule& sched, std::span<T> data,
 /// deterministic).
 template <typename T>
 void scatter(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
-  scatter_op<T>(comm, sched, data,
-                [](const T&, const T& incoming) { return incoming; });
+  comm::Engine engine(comm);
+  engine.wait(engine.post_scatter<T>(sched, data));
 }
 
 /// Scatter-accumulate: the reduction used by irregular loops that combine
 /// partial results computed at ghost copies (e.g. force accumulation).
 template <typename T>
 void scatter_add(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
-  scatter_op<T>(comm, sched, data,
-                [](const T& own, const T& incoming) { return own + incoming; });
+  comm::Engine engine(comm);
+  engine.wait(engine.post_scatter_add<T>(sched, data));
 }
 
 }  // namespace chaos::core

@@ -46,6 +46,34 @@ void Runtime::retire(DistHandle h) {
   dists_[h.id].retired = true;  // idempotent
 }
 
+std::size_t Runtime::compact() {
+  CHAOS_CHECK(engine_.idle(),
+              "compact() with engine operations in flight");
+  std::size_t released = 0;
+  for (DistEntry& e : dists_) {
+    if (!e.retired) continue;
+    released += e.registry.footprint_bytes();
+    e.registry = runtime::ScheduleRegistry{};
+    e.dist.reset();  // translation table of a retired epoch
+  }
+  for (ScheduleEntry& e : scheds_) {
+    const bool dead = dists_[e.dist].retired ||
+                      (e.kind == ScheduleKind::kRemap &&
+                       dists_[e.to_dist].retired);
+    if (!dead) continue;
+    released += e.sched.footprint_bytes();
+    e.sched = core::Schedule{};
+  }
+  return released;
+}
+
+std::size_t Runtime::registry_bytes() const {
+  std::size_t n = 0;
+  for (const DistEntry& e : dists_) n += e.registry.footprint_bytes();
+  for (const ScheduleEntry& e : scheds_) n += e.sched.footprint_bytes();
+  return n;
+}
+
 const lang::Distribution& Runtime::dist(DistHandle h) const {
   return *dist_entry(h).dist;
 }

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <initializer_list>
 #include <map>
@@ -41,6 +42,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/engine.hpp"
 #include "core/iteration.hpp"
 #include "core/lightweight.hpp"
 #include "core/parallel_partition.hpp"
@@ -137,8 +139,23 @@ class Runtime {
                          std::span<const double> my_weights);
 
   /// Retire a distribution epoch after its data has been remapped away.
-  /// Every LoopHandle / ScheduleHandle bound to it becomes invalid.
+  /// Every LoopHandle / ScheduleHandle bound to it becomes invalid. Do not
+  /// retire an epoch whose schedules still have engine operations in
+  /// flight.
   void retire(DistHandle h);
+
+  /// Registry memory hygiene (ROADMAP): free the inspector state (hash
+  /// table, cached plans) and derived-schedule storage of every retired
+  /// epoch. Handles bound to retired epochs were already invalid, so this
+  /// changes no observable behavior — it only releases memory that long
+  /// runs with many repartitions would otherwise hold until the Runtime
+  /// dies. Requires an idle comm engine. Returns the approximate number of
+  /// bytes released.
+  std::size_t compact();
+
+  /// Approximate bytes of inspector/schedule state currently held across
+  /// all epochs (live and retired). Drops after compact().
+  std::size_t registry_bytes() const;
 
   const lang::Distribution& dist(DistHandle h) const;
   GlobalIndex owned_count(DistHandle h) const {
@@ -298,6 +315,59 @@ class Runtime {
     core::scatter_add<T>(comm_, schedule(h), a.local());
   }
 
+  // ---- Phase F, asynchronous: the communication engine ----------------
+  //
+  // The blocking executor primitives above are one-post-one-wait shorthands.
+  // The async variants post first-class operations on the Runtime's
+  // comm::Engine: independent schedules posted into one batch leave as ONE
+  // coalesced message per peer at comm_flush(), and distinct batches (tag-
+  // disjoint) overlap in flight. Lifecycle: post -> flush -> wait. The data
+  // spans must stay valid, and the posted schedules must not be
+  // re-inspected, until the operation completes.
+
+  /// The engine itself, for advanced control (test(), multiple batches).
+  comm::Engine& engine() { return engine_; }
+
+  template <typename T>
+  comm::CommHandle gather_async(ScheduleHandle h, std::span<T> data) {
+    const ScheduleEntry& e = checked(h);
+    CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
+                "data array smaller than the schedule's local extent");
+    return engine_.post_gather<T>(schedule_of(e), data);
+  }
+
+  template <typename T>
+  comm::CommHandle scatter_async(ScheduleHandle h, std::span<T> data) {
+    const ScheduleEntry& e = checked(h);
+    CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
+                "data array smaller than the schedule's local extent");
+    return engine_.post_scatter<T>(schedule_of(e), data);
+  }
+
+  template <typename T>
+  comm::CommHandle scatter_add_async(ScheduleHandle h, std::span<T> data) {
+    const ScheduleEntry& e = checked(h);
+    CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
+                "data array smaller than the schedule's local extent");
+    return engine_.post_scatter_add<T>(schedule_of(e), data);
+  }
+
+  /// Async light-weight migration: builds the schedule (collective), posts
+  /// the item motion, and returns without receiving — overlap local work
+  /// with the transfer, then comm_wait(). `items` and `out` must stay valid
+  /// until completion; arrivals are appended to `out` during the wait.
+  template <typename T>
+  comm::CommHandle migrate_async(std::span<const int> dest_procs,
+                                 std::span<const T> items,
+                                 std::vector<T>& out) {
+    auto sched = core::LightweightSchedule::build(comm_, dest_procs);
+    return engine_.post_migrate<T>(std::move(sched), items, out);
+  }
+
+  void comm_flush() { engine_.flush(); }
+  void comm_wait(comm::CommHandle h) { engine_.wait(h); }
+  void comm_wait_all() { engine_.wait_all(); }
+
   /// Light-weight migration (paper §3.2.1): move items to known destination
   /// processors and append arrivals to `out`. No inspector, no placement
   /// lists. Collective.
@@ -371,9 +441,13 @@ class Runtime {
                           std::vector<std::uint64_t>& ind_ids) const;
 
   sim::Comm& comm_;
+  comm::Engine engine_{comm_};
   std::vector<DistEntry> dists_;
   std::vector<LoopEntry> loops_;
-  std::vector<ScheduleEntry> scheds_;
+  // Deque, not vector: posted engine operations hold references to
+  // schedules stored in these entries, so creating new schedules while
+  // operations are in flight must not move existing ones.
+  std::deque<ScheduleEntry> scheds_;
 
   // Dedup keys so repeated bind/inspect/merge calls reuse handles.
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> loop_keys_;

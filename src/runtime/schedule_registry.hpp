@@ -70,6 +70,17 @@ class ScheduleRegistry {
     return hash_ ? hash_->local_extent() : 0;
   }
 
+  /// Approximate heap footprint of all inspector state held by this
+  /// registry (hash table + cached plans), for Runtime::compact accounting.
+  std::size_t footprint_bytes() const {
+    std::size_t n = hash_ ? hash_->footprint_bytes() : 0;
+    for (const auto& [id, cached] : loops_) {
+      n += cached.plan.local_refs.capacity() * sizeof(GlobalIndex);
+      n += cached.plan.schedule.footprint_bytes();
+    }
+    return n;
+  }
+
  private:
   struct CachedLoop {
     std::uint64_t version = ~std::uint64_t{0};

@@ -59,6 +59,22 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   return std::move(msg.payload);
 }
 
+bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
+  CHAOS_CHECK(src >= 0 && src < nranks_, "recv source out of range");
+  // Gated on this rank's virtual clock: only messages that have already
+  // arrived in modeled time are consumable, so a successful probe charges
+  // exactly the receive overhead and never waits on the modeled wire.
+  std::optional<Message> msg =
+      m_.mailboxes_[static_cast<std::size_t>(rank_)]->try_pop(src, tag,
+                                                              st_.clock);
+  if (!msg) return false;
+  const double done = st_.clock + m_.model_.message_recv_cost();
+  st_.comm_s += done - st_.clock;
+  st_.clock = done;
+  out = std::move(msg->payload);
+  return true;
+}
+
 void Comm::publish_bytes(std::span<const std::byte> bytes) {
   auto& slot = m_.stage_[static_cast<std::size_t>(rank_)];
   slot.assign(bytes.begin(), bytes.end());

@@ -37,8 +37,18 @@ struct RankStats {
   double clock = 0.0;       ///< final virtual time
   double compute_s = 0.0;   ///< charged computation
   double comm_s = 0.0;      ///< everything else (overheads, transfers, waits)
-  std::uint64_t msgs_sent = 0;
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_sent = 0;   ///< physical messages (coalesced count as 1)
+  std::uint64_t bytes_sent = 0;  ///< physical payload bytes
+
+  // Comm-engine batching accounting, kept separate from the physical
+  // counters above so benches can report message-count reduction honestly.
+  // Only messages that packed >= 2 logical per-schedule segments count
+  // here (a coalesced message is one physical message, msgs_sent += 1);
+  // single-segment engine sends are indistinguishable on the wire from
+  // blocking sends and would dilute the reduction factor.
+  std::uint64_t coalesced_msgs_sent = 0;  ///< multi-segment engine messages
+  std::uint64_t coalesced_segments = 0;   ///< logical segments inside them
+  std::uint64_t coalesced_bytes_sent = 0; ///< payload bytes in those messages
 };
 
 class Machine;
@@ -94,7 +104,7 @@ class Comm {
     CHAOS_CHECK(bytes.size() % sizeof(T) == 0,
                 "received payload size is not a multiple of element size");
     std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
   }
 
@@ -103,6 +113,35 @@ class Comm {
     auto v = recv<T>(src, tag);
     CHAOS_CHECK(v.size() == 1, "expected single-element message");
     return v[0];
+  }
+
+  /// Non-blocking receive: if a message from exactly (src, tag) has
+  /// already *arrived in modeled time* (its arrival is not after this
+  /// rank's clock), consume it into `out` — charging only the receive
+  /// overhead, never a wire wait — and return true; otherwise return
+  /// false without blocking. A polling loop must therefore advance its
+  /// own virtual clock (charge work) to ever observe a message that is
+  /// still in modeled transit.
+  template <typename T>
+  bool try_recv(int src, int tag, std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes;
+    if (!try_recv_bytes(src, tag, bytes)) return false;
+    CHAOS_CHECK(bytes.size() % sizeof(T) == 0,
+                "received payload size is not a multiple of element size");
+    out.resize(bytes.size() / sizeof(T));
+    if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return true;
+  }
+
+  /// Comm-engine accounting hook: one physical coalesced message just left
+  /// this rank carrying `segments` logical per-schedule segments of `bytes`
+  /// total payload. The physical send itself is charged by send(); this
+  /// only updates the separate coalescing counters in RankStats.
+  void note_coalesced_send(std::uint64_t segments, std::uint64_t bytes) {
+    ++st_.coalesced_msgs_sent;
+    st_.coalesced_segments += segments;
+    st_.coalesced_bytes_sent += bytes;
   }
 
   // ---- collectives ----------------------------------------------------
@@ -171,7 +210,7 @@ class Comm {
       const std::size_t n = b.size() / sizeof(T);
       const std::size_t at = out.size();
       out.resize(at + n);
-      std::memcpy(out.data() + at, b.data(), b.size());
+      if (n > 0) std::memcpy(out.data() + at, b.data(), b.size());
       if (counts) (*counts)[static_cast<std::size_t>(r)] = n;
       total += b.size();
     }
@@ -196,7 +235,7 @@ class Comm {
       const std::size_t n = b.size() / sizeof(T);
       const std::size_t at = out.size();
       out.resize(at + n);
-      std::memcpy(out.data() + at, b.data(), b.size());
+      if (n > 0) std::memcpy(out.data() + at, b.data(), b.size());
     }
     finish_staged(0.0);
     return out;
@@ -216,7 +255,7 @@ class Comm {
     std::span<const std::byte> b = peer_bytes(root);
     CHAOS_CHECK(b.size() % sizeof(T) == 0);
     std::vector<T> out(b.size() / sizeof(T));
-    std::memcpy(out.data(), b.data(), b.size());
+    if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
     finish_staged(model().bcast_cost(nranks_, b.size()));
     return out;
   }
@@ -320,6 +359,7 @@ class Comm {
 
   void send_bytes(int dst, int tag, std::span<const std::byte> bytes);
   std::vector<std::byte> recv_bytes(int src, int tag);
+  bool try_recv_bytes(int src, int tag, std::vector<std::byte>& out);
 
   // Staged-collective protocol: publish own contribution, then read peers',
   // then finish (which synchronizes and charges modeled cost).

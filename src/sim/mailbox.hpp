@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 
 #include "sim/message.hpp"
 #include "util/check.hpp"
@@ -48,6 +49,28 @@ class Mailbox {
       }
       cv_.wait(lk);
     }
+  }
+
+  /// Non-blocking pop: removes and returns a message matching exactly
+  /// (src, tag) whose modeled arrival time is not after `now`;
+  /// std::nullopt otherwise. Never blocks and never throws — the comm
+  /// engine uses it to make progress opportunistically between posted
+  /// operations. The arrival gate keeps virtual time honest: a message
+  /// that is physically queued (the sender thread ran ahead in real time)
+  /// but still in transit on the modeled network is not visible yet, so a
+  /// probe can never pull virtual time forward ahead of the receiver's
+  /// own clock.
+  std::optional<Message> try_pop(int src, int tag, double now) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        if (it->arrival > now) return std::nullopt;
+        Message m = std::move(*it);
+        q_.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
   }
 
   /// Wakes any blocked receiver so it can observe the abort flag.

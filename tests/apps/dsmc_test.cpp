@@ -215,6 +215,38 @@ TEST(DsmcParallel, RemappingModesMatchExactly) {
   }
 }
 
+TEST(DsmcParallel, RemapOverlapSafeWithEpochRetiringModes) {
+  // The remap phase posts the particle migration through the comm engine
+  // and rebuilds the cell ownership structures while the transfer is in
+  // flight. In the compiler-generated and regular-migration modes that
+  // rebuild retires a distribution epoch and constructs a new one
+  // (collective) mid-flight — exactly the interaction that must not
+  // deadlock, reorder arrivals, or touch freed buffers.
+  DsmcParams p = small_params();
+  p.nonuniform_init = true;
+  auto seq = run_sequential_dsmc(p, 9);
+
+  ParallelDsmcConfig compiler;
+  compiler.params = p;
+  compiler.steps = 9;
+  compiler.remap_every = 3;
+  compiler.compiler_generated = true;
+  compiler.collect_state = true;
+  sim::Machine m1(4);
+  auto par_compiler = run_parallel_dsmc(m1, compiler);
+  expect_exact_match(par_compiler.particles, seq.particles);
+
+  ParallelDsmcConfig regular;
+  regular.params = p;
+  regular.steps = 9;
+  regular.remap_every = 3;
+  regular.migration = MigrationMode::kRegular;
+  regular.collect_state = true;
+  sim::Machine m2(4);
+  auto par_regular = run_parallel_dsmc(m2, regular);
+  expect_exact_match(par_regular.particles, seq.particles);
+}
+
 TEST(DsmcParallel, LightweightCheaperThanRegular) {
   // Table 4's mechanism: the regular-schedule path must cost substantially
   // more virtual time for the same physical result. Like the paper, the

@@ -67,6 +67,52 @@ TEST(Mailbox, AbortUnblocksPop) {
   aborter.join();
 }
 
+TEST(Mailbox, TryPopReturnsNulloptWithoutBlocking) {
+  Mailbox mb;
+  EXPECT_FALSE(mb.try_pop(0, 0, 1e9).has_value());
+  mb.push(make(1, 10, 100));
+  EXPECT_FALSE(mb.try_pop(1, 11, 1e9).has_value());  // tag mismatch
+  EXPECT_FALSE(mb.try_pop(2, 10, 1e9).has_value());  // src mismatch
+  EXPECT_EQ(mb.pending(), 1u);
+}
+
+TEST(Mailbox, TryPopRemovesExactMatch) {
+  Mailbox mb;
+  std::atomic<bool> aborted{false};
+  mb.push(make(1, 10, 100));
+  mb.push(make(1, 20, 200));
+  auto m = mb.try_pop(1, 20, 1e9);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(value_of(*m), 200);
+  EXPECT_EQ(mb.pending(), 1u);
+  EXPECT_EQ(value_of(mb.pop(1, 10, aborted)), 100);
+}
+
+TEST(Mailbox, TryPopIsFifoWithinSameSrcTag) {
+  Mailbox mb;
+  for (int i = 0; i < 3; ++i) mb.push(make(0, 1, i));
+  for (int i = 0; i < 3; ++i) {
+    auto m = mb.try_pop(0, 1, 1e9);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(value_of(*m), i);
+  }
+  EXPECT_FALSE(mb.try_pop(0, 1, 1e9).has_value());
+}
+
+TEST(Mailbox, TryPopRespectsModeledArrivalTime) {
+  // A physically queued message is invisible to the probe until the
+  // caller's virtual clock reaches its arrival time.
+  Mailbox mb;
+  Message m = make(0, 1, 42);
+  m.arrival = 5.0;
+  mb.push(std::move(m));
+  EXPECT_FALSE(mb.try_pop(0, 1, 4.99).has_value());  // still in transit
+  EXPECT_EQ(mb.pending(), 1u);
+  auto got = mb.try_pop(0, 1, 5.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(value_of(*got), 42);
+}
+
 TEST(Mailbox, PendingCountsQueued) {
   Mailbox mb;
   mb.push(make(0, 0, 1));
