@@ -103,10 +103,40 @@ class Driver {
     }
 
     phase_out_[static_cast<size_t>(comm_.rank())] = t_;
+    absorb_epoch_stats(dist_);
+    report_reuse();
     if (cfg_.collect_state) collect_state();
   }
 
  private:
+  /// Fold one distribution epoch's inspector statistics into the running
+  /// totals; called for each epoch before it is retired (its registry may
+  /// be compacted away afterwards) and once for the final epoch.
+  void absorb_epoch_stats(DistHandle h) {
+    const core::IndexHashTable::Stats hs = rt_.hash_stats(h);
+    const runtime::ScheduleRegistry::Stats rs = rt_.registry_stats(h);
+    translations_ += hs.translations + rs.seed_translations;
+    reused_homes_ += hs.reused_homes;
+    patched_schedules_ += rs.patched_schedules;
+    rebuilt_schedules_ += rs.rebuilt_schedules;
+  }
+
+  void report_reuse() {
+    const auto total = [&](std::uint64_t v) {
+      return static_cast<std::uint64_t>(
+          comm_.allreduce_sum(static_cast<long long>(v)));
+    };
+    const std::uint64_t translations = total(translations_);
+    const std::uint64_t reused = total(reused_homes_);
+    const std::uint64_t patched = total(patched_schedules_);
+    const std::uint64_t rebuilt = total(rebuilt_schedules_);
+    if (comm_.rank() == 0) {
+      shared_.translations = translations;
+      shared_.reused_homes = reused;
+      shared_.patched_schedules = patched;
+      shared_.rebuilt_schedules = rebuilt;
+    }
+  }
   template <typename Fn>
   void timed(double CharmmPhaseTimes::*slot, Fn&& fn) {
     // Synchronize phase entry so each bucket measures its own phase rather
@@ -248,7 +278,9 @@ class Driver {
 
           // Distribution epoch changed: retire the old one (its inspector
           // state and every handle bound to it become invalid; the remapped
-          // list survives and schedules are regenerated below).
+          // list survives and schedules are regenerated below). Its reuse
+          // counters are absorbed first — the registry may be compacted.
+          absorb_epoch_stats(dist_);
           rt_.retire(dist_);
           dist_ = new_dist;
           my_globals_ = rt_.owned_globals(dist_);
@@ -468,6 +500,12 @@ class Driver {
   std::span<const GlobalIndex> bond_refs_;  // localized (ib,jb) pairs
   std::span<const GlobalIndex> jnb_local_;  // localized partners
   GlobalIndex extent_ = 0;
+
+  // Cross-epoch reuse totals, accumulated per epoch (this rank).
+  std::uint64_t translations_ = 0;
+  std::uint64_t reused_homes_ = 0;
+  std::uint64_t patched_schedules_ = 0;
+  std::uint64_t rebuilt_schedules_ = 0;
 
   CharmmPhaseTimes t_;
 };

@@ -74,6 +74,15 @@ struct ParallelCharmmResult {
   std::uint64_t coalesced_msgs = 0;
   std::uint64_t coalesced_segments = 0;
 
+  /// Cross-epoch reuse accounting, summed over ranks and distribution
+  /// epochs: translation-table lookups the inspector actually performed vs
+  /// Homes carried forward across repartitions without one, and how many
+  /// cached schedules survived a repartition via recv-side patching alone.
+  std::uint64_t translations = 0;
+  std::uint64_t reused_homes = 0;
+  std::uint64_t patched_schedules = 0;
+  std::uint64_t rebuilt_schedules = 0;
+
   /// Global state in global-id order (only when collect_state).
   std::vector<part::Point3> pos;
   std::vector<part::Vec3> force;

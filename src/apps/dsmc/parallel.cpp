@@ -95,17 +95,31 @@ class Driver {
       }
     }
     if (cfg_.compiler_generated) {
-      // Rows distribution the REDUCE(APPEND) lowering appends into.
-      if (rt_.valid(rows_)) rt_.retire(rows_);
-      rows_ = rt_.irregular(cell_map_);
+      // Rows distribution the REDUCE(APPEND) lowering appends into. After
+      // the first epoch the new map is adopted as a successor: the
+      // translation table is patched from the owner delta instead of being
+      // rebuilt (a remap moves most cells' ownership nowhere).
+      if (rt_.valid(rows_)) {
+        const DistHandle prev = rows_;
+        rows_ = rt_.repartition(prev, std::span<const int>(cell_map_));
+        rt_.retire(prev);
+      } else {
+        rows_ = rt_.irregular(cell_map_);
+      }
     }
     if (cfg_.migration == MigrationMode::kRegular) {
       // The regular-schedule path translates through a non-replicated
       // (paged) translation table, whose lookups communicate — the cost the
       // paper calls out for index analysis with distributed tables
-      // (§3.2.2).
-      if (rt_.valid(paged_)) rt_.retire(paged_);
-      paged_ = rt_.irregular_paged(cell_map_);
+      // (§3.2.2). Successor epochs patch the paged table in place (only
+      // this rank's page entries whose Home changed are rewritten).
+      if (rt_.valid(paged_)) {
+        const DistHandle prev = paged_;
+        paged_ = rt_.repartition(prev, std::span<const int>(cell_map_));
+        rt_.retire(prev);
+      } else {
+        paged_ = rt_.irregular_paged(cell_map_);
+      }
     }
   }
 

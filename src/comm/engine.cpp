@@ -32,6 +32,8 @@ void Engine::flush() {
   b.tag = comm_.fresh_tag();
   for (auto& [peer, bytes] : b.out_bytes) {
     comm_.send<std::byte>(peer, b.tag, bytes);
+    ++traffic_.messages;
+    traffic_.bytes += bytes.size();
     // Only messages that actually packed several operations' segments
     // count as coalesced: single-segment engine sends are indistinguishable
     // on the wire from blocking sends, and counting them would dilute the

@@ -160,6 +160,16 @@ class Engine {
     return true;
   }
 
+  /// Cumulative wire traffic this engine has flushed (self-copies
+  /// excluded): one message per (peer, batch) with staged payload. Benches
+  /// diff this around a phase to report bytes actually migrated — e.g. the
+  /// delta-remap path of cross-epoch reuse ships only moved elements.
+  struct Traffic {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  const Traffic& traffic() const { return traffic_; }
+
   /// Operations posted and not yet complete (including an open batch).
   std::size_t in_flight() const {
     std::size_t n = 0;
@@ -250,6 +260,7 @@ class Engine {
   std::vector<Batch> batches_;
   std::size_t recv_batch_ = 0;  ///< first batch not fully received
   std::uint32_t open_ = kNone;
+  Traffic traffic_;
 };
 
 // ---- template implementations ---------------------------------------------

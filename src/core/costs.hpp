@@ -41,6 +41,36 @@ inline constexpr double kPackWord = 0.4;
 /// bucket append; no hashing, no translation).
 inline constexpr double kLightweightEntry = 1.2;
 
+// ---- Cross-epoch reuse (patching instead of rebuilding) --------------------
+//
+// After a repartition, preprocessing products of the previous epoch are
+// patched where the owner delta permits instead of being rebuilt from
+// scratch. The patched paths touch the same data but skip translation,
+// request exchange, and per-entry bookkeeping; their charges are
+// correspondingly lower than the cold-build constants above.
+
+/// Scanning one element while computing an owner delta or applying a
+/// translation-table patch (a compare + conditional write; no hashing, no
+/// allocation — vs. 2.0 work units per element for a cold table build).
+inline constexpr double kDeltaScan = 0.25;
+
+/// Re-deriving the Home of one *moved* element during a table patch.
+inline constexpr double kPatchMove = 2.0;
+
+/// Seeding one reference into the next epoch's hash table when the entry is
+/// already present (probe + stamp OR; no translation).
+inline constexpr double kSeedHit = 2.0;
+
+/// Seeding one reference whose entry must be inserted but whose Home is
+/// carried forward from the previous epoch (insert + slot assignment,
+/// translation skipped — vs. kHashInsert + a translation for a cold build).
+inline constexpr double kSeedInsert = 6.0;
+
+/// Rewriting one index of a carried-forward schedule (recv-side ghost-slot
+/// remap; no request exchange — vs. kScheduleEntry plus the alltoallv for a
+/// cold schedule generation).
+inline constexpr double kSchedulePatchEntry = 1.0;
+
 /// Pack/unpack work for `elements` items of `elem_bytes` each (whole-word
 /// granularity, matching the per-word copy loops of the executor).
 inline double pack_work(std::size_t elements, std::size_t elem_bytes) {

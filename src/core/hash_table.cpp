@@ -49,13 +49,42 @@ const IndexHashTable::Entry* IndexHashTable::find(GlobalIndex g) const {
   return &entries_[static_cast<std::size_t>(index_[at])];
 }
 
-Stamp IndexHashTable::hash(sim::Comm& comm, const TranslationTable& table,
-                           std::span<GlobalIndex> indices) {
+Stamp IndexHashTable::allocate_stamp() {
   CHAOS_CHECK(free_stamps_ != 0, "all 64 stamps in use; clear one first");
   // Lowest free bit — this recycles a just-cleared stamp, as the paper's
   // CHARMM parallelization does after each non-bonded list update.
   const Stamp stamp = free_stamps_ & (~free_stamps_ + 1);
   free_stamps_ &= ~stamp;
+  return stamp;
+}
+
+IndexHashTable::SeedResult IndexHashTable::seed_ref(int self_rank,
+                                                    GlobalIndex g,
+                                                    const Home& home,
+                                                    Stamp stamp,
+                                                    bool carried) {
+  if (entries_.size() * 10 >= index_.size() * 7) grow();
+  const std::size_t at = probe(g);
+  if (index_[at] >= 0) {
+    Entry& e = entries_[static_cast<std::size_t>(index_[at])];
+    e.stamps |= stamp;
+    ++stats_.hits;
+    return SeedResult{e.local_index, false};
+  }
+  CHAOS_ASSERT(home.proc >= 0, "seeding a new entry requires a Home");
+  const std::int32_t id = static_cast<std::int32_t>(entries_.size());
+  const GlobalIndex local =
+      home.proc == self_rank ? home.offset : owned_ + next_ghost_slot_++;
+  entries_.push_back(Entry{g, home, local, stamp});
+  index_[at] = id;
+  ++stats_.inserts;
+  if (carried) ++stats_.reused_homes;
+  return SeedResult{local, true};
+}
+
+Stamp IndexHashTable::hash(sim::Comm& comm, const TranslationTable& table,
+                           std::span<GlobalIndex> indices) {
+  const Stamp stamp = allocate_stamp();
 
   // Pass 1: enter indices; collect globals that need translation.
   std::vector<GlobalIndex> unknown;

@@ -49,6 +49,10 @@ class IndexHashTable {
     std::uint64_t inserts = 0;       ///< new indices entered
     std::uint64_t hits = 0;          ///< indices found already present
     std::uint64_t translations = 0;  ///< translation-table lookups performed
+    /// Entries whose Home was carried forward from the previous
+    /// distribution epoch without a translation-table lookup (cross-epoch
+    /// reuse, seed_ref with a prior-epoch Home).
+    std::uint64_t reused_homes = 0;
   };
 
   /// Index analysis for one indirection array. Enters all indices, rewrites
@@ -59,6 +63,38 @@ class IndexHashTable {
   /// indices may communicate when the table is distributed).
   Stamp hash(sim::Comm& comm, const TranslationTable& table,
              std::span<GlobalIndex> indices);
+
+  // ---- cross-epoch seeding -------------------------------------------
+  //
+  // After a repartition, the next epoch's hash table is *seeded* from the
+  // previous epoch's instead of being refilled by re-hashing every
+  // indirection array: the registry replays each cached loop's reference
+  // stream, carrying each entry's Home forward when the owner delta proves
+  // it stable. Seeding reproduces exactly the entry/slot/stamp state a
+  // cold inspector pass over the same references would build — ghost slots
+  // are assigned in the same first-encounter order — which is what the
+  // randomized equivalence suite asserts.
+
+  /// Take the lowest free stamp bit (the same allocation policy hash()
+  /// uses) without hashing anything. The caller seeds entries under it via
+  /// seed_ref().
+  Stamp allocate_stamp();
+
+  struct SeedResult {
+    GlobalIndex local_index = -1;
+    bool inserted = false;  ///< false: entry existed, stamp was OR'd in
+  };
+
+  /// Seed one reference: if `g` is already present, OR `stamp` into its
+  /// entry; otherwise insert it with `home` (no translation-table lookup —
+  /// `carried` says whether the home was reused from the prior epoch, for
+  /// stats). Returns the entry's local index, exactly as hash() would have
+  /// assigned it on a rank whose id is `self_rank`.
+  SeedResult seed_ref(int self_rank, GlobalIndex g, const Home& home,
+                      Stamp stamp, bool carried);
+
+  /// All entries in insertion order, including dead ones (stamps == 0).
+  std::span<const Entry> entries() const { return entries_; }
 
   /// Remove `stamp` from every entry and return the bit to the free pool.
   /// Entries left with no stamps become dead but keep their ghost slot

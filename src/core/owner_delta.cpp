@@ -1,0 +1,35 @@
+#include "core/owner_delta.hpp"
+
+#include "util/check.hpp"
+
+namespace chaos::core {
+
+OwnerDelta OwnerDelta::compute(std::span<const int> old_map,
+                               std::span<const int> new_map) {
+  CHAOS_CHECK(old_map.size() == new_map.size(),
+              "owner delta requires maps over the same element set");
+  OwnerDelta d;
+  d.n_ = static_cast<GlobalIndex>(new_map.size());
+
+  // Walk both maps once, tracking per-proc next offsets under each epoch:
+  // the offset an element gets is the count of lower-indexed elements with
+  // the same owner (the CHAOS ascending-global-order convention).
+  int nprocs = 0;
+  for (int p : old_map) nprocs = std::max(nprocs, p + 1);
+  for (int p : new_map) nprocs = std::max(nprocs, p + 1);
+  std::vector<GlobalIndex> next_old(static_cast<std::size_t>(nprocs), 0);
+  std::vector<GlobalIndex> next_new(static_cast<std::size_t>(nprocs), 0);
+
+  for (GlobalIndex g = 0; g < d.n_; ++g) {
+    const int po = old_map[static_cast<std::size_t>(g)];
+    const int pn = new_map[static_cast<std::size_t>(g)];
+    CHAOS_CHECK(po >= 0 && pn >= 0, "map array names a negative processor");
+    const GlobalIndex oo = next_old[static_cast<std::size_t>(po)]++;
+    const GlobalIndex on = next_new[static_cast<std::size_t>(pn)]++;
+    if (po != pn) d.moves_.push_back(Move{g, po, pn});
+    if (po != pn || oo != on) d.home_unstable_.push_back(g);
+  }
+  return d;
+}
+
+}  // namespace chaos::core

@@ -1,17 +1,22 @@
 #include "core/remap.hpp"
 
+#include <algorithm>
+
 #include "core/costs.hpp"
 
 namespace chaos::core {
 
-Schedule build_remap_schedule(sim::Comm& comm,
-                              std::span<const GlobalIndex> my_old_globals,
-                              const TranslationTable& new_table) {
+namespace {
+
+/// Shared back half of remap planning: group this rank's elements by their
+/// destination (walking ascending old offset), exchange the placement
+/// lists, and assemble blocks. `homes[i]` is the new Home of
+/// my_old_globals[i].
+Schedule assemble_remap_schedule(sim::Comm& comm,
+                                 std::span<const GlobalIndex> my_old_globals,
+                                 std::span<const Home> homes) {
   const int P = comm.size();
   const int me = comm.rank();
-
-  // Where does each of my elements go under the new distribution?
-  std::vector<Home> homes = new_table.lookup(comm, my_old_globals);
 
   std::vector<ScheduleBlock> send_blocks;
   std::vector<ScheduleBlock> recv_blocks;
@@ -26,7 +31,6 @@ Schedule build_remap_schedule(sim::Comm& comm,
         static_cast<GlobalIndex>(i));
     new_offsets[static_cast<size_t>(h.proc)].push_back(h.offset);
   }
-  comm.charge_work(static_cast<double>(my_old_globals.size()) * 2.0);
 
   std::vector<std::vector<GlobalIndex>> incoming_offsets =
       comm.alltoallv(new_offsets);
@@ -49,6 +53,58 @@ Schedule build_remap_schedule(sim::Comm& comm,
           r, std::move(incoming_offsets[static_cast<size_t>(r)])});
   }
   return Schedule(std::move(send_blocks), std::move(recv_blocks));
+}
+
+}  // namespace
+
+Schedule build_remap_schedule(sim::Comm& comm,
+                              std::span<const GlobalIndex> my_old_globals,
+                              const TranslationTable& new_table) {
+  // Where does each of my elements go under the new distribution?
+  std::vector<Home> homes = new_table.lookup(comm, my_old_globals);
+  comm.charge_work(static_cast<double>(my_old_globals.size()) * 2.0);
+  return assemble_remap_schedule(comm, my_old_globals, homes);
+}
+
+Schedule build_remap_schedule_delta(sim::Comm& comm,
+                                    std::span<const GlobalIndex> my_old_globals,
+                                    const TranslationTable& new_table,
+                                    const OwnerDelta& delta) {
+  const int me = comm.rank();
+
+  // Batch-translate only the elements that moved away; every rank calls
+  // lookup together (possibly with an empty batch).
+  std::vector<GlobalIndex> moved;
+  for (GlobalIndex g : my_old_globals)
+    if (delta.owner_moved(g)) moved.push_back(g);
+  const std::vector<Home> moved_homes = new_table.lookup(comm, moved);
+
+  // The surviving owned set, ascending: old owned minus moved-out plus
+  // moved-in. A stable element's new offset is its position in it (the
+  // ascending-global-order offset convention).
+  std::vector<GlobalIndex> mine_new;
+  mine_new.reserve(my_old_globals.size());
+  for (GlobalIndex g : my_old_globals)
+    if (!delta.owner_moved(g)) mine_new.push_back(g);
+  for (const OwnerDelta::Move& m : delta.moves())
+    if (m.to == me) mine_new.push_back(m.global);
+  std::sort(mine_new.begin(), mine_new.end());
+
+  std::vector<Home> homes(my_old_globals.size());
+  std::size_t mvi = 0;
+  for (std::size_t i = 0; i < my_old_globals.size(); ++i) {
+    const GlobalIndex g = my_old_globals[i];
+    if (delta.owner_moved(g)) {
+      homes[i] = moved_homes[mvi++];
+    } else {
+      const auto it = std::lower_bound(mine_new.begin(), mine_new.end(), g);
+      homes[i] = Home{me, static_cast<GlobalIndex>(it - mine_new.begin())};
+    }
+  }
+  comm.charge_work(static_cast<double>(my_old_globals.size()) *
+                       (2.0 * costs::kDeltaScan) +
+                   static_cast<double>(moved.size()) * costs::kPatchMove);
+  return assemble_remap_schedule(comm, my_old_globals, homes);
 }
 
 }  // namespace chaos::core

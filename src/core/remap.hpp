@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/owner_delta.hpp"
 #include "core/schedule.hpp"
 #include "core/translation_table.hpp"
 #include "sim/machine.hpp"
@@ -25,5 +26,19 @@ namespace chaos::core {
 Schedule build_remap_schedule(sim::Comm& comm,
                               std::span<const GlobalIndex> my_old_globals,
                               const TranslationTable& new_table);
+
+/// Delta-aware remap planning (cross-epoch reuse): `new_table` is the
+/// patched successor of the table that assigned `my_old_globals`, and
+/// `delta` is the owner delta between the two epochs. Only elements whose
+/// owner changed are looked up through the new table; owner-stable
+/// elements stay on this rank and derive their new offsets locally from
+/// the surviving owned set. Produces a schedule identical to
+/// build_remap_schedule (including the self-block permutation for stable
+/// elements whose offsets shifted); only the construction cost differs.
+/// Collective.
+Schedule build_remap_schedule_delta(sim::Comm& comm,
+                                    std::span<const GlobalIndex> my_old_globals,
+                                    const TranslationTable& new_table,
+                                    const OwnerDelta& delta);
 
 }  // namespace chaos::core

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/costs.hpp"
+#include "core/owner_delta.hpp"
 #include "util/check.hpp"
 
 namespace chaos::core {
@@ -50,6 +51,84 @@ TranslationTable TranslationTable::from_full_map(
   assign_offsets(full_map, 0, next, t.homes_);
   t.owned_counts_ = next;
   comm.charge_work(static_cast<double>(n) * 2.0);
+  return t;
+}
+
+TranslationTable TranslationTable::patched(sim::Comm& comm,
+                                           const TranslationTable& old,
+                                           std::span<const int> new_map,
+                                           const OwnerDelta& delta) {
+  const int P = comm.size();
+  const GlobalIndex n = static_cast<GlobalIndex>(new_map.size());
+  CHAOS_CHECK(n == old.n_, "patched table must cover the same element set");
+  CHAOS_CHECK(delta.global_size() == n,
+              "owner delta does not match the map size");
+
+  if (old.mode_ == Mode::kReplicated) {
+    TranslationTable t(Mode::kReplicated, n, P);
+    // Copy the old table wholesale, then re-derive only the unstable
+    // entries: a single counting walk maintains each proc's next offset
+    // under the new map, writing an entry only where the Home changed.
+    t.homes_ = old.homes_;
+    std::vector<GlobalIndex> next(static_cast<size_t>(P), 0);
+    for (GlobalIndex g = 0; g < n; ++g) {
+      const int proc = new_map[static_cast<size_t>(g)];
+      CHAOS_CHECK(proc >= 0 && proc < P,
+                  "map array names a processor outside the machine");
+      const GlobalIndex off = next[static_cast<size_t>(proc)]++;
+      Home& h = t.homes_[static_cast<size_t>(g)];
+      if (h.proc != proc || h.offset != off) h = Home{proc, off};
+    }
+    t.owned_counts_ = next;
+    comm.charge_work(static_cast<double>(n) * costs::kDeltaScan +
+                     static_cast<double>(delta.unstable_count()) *
+                         costs::kPatchMove);
+    return t;
+  }
+
+  // Distributed (paged): the small per-(page, proc) ownership-count
+  // exchange of the cold build is kept (starting offsets for my page need
+  // the counts of all lower pages), but the per-element derivation writes
+  // only entries whose Home changed.
+  part::BlockLayout pages(n > 0 ? n : 1, P);
+  const GlobalIndex my_first = pages.first(comm.rank());
+  const GlobalIndex my_size = n > 0 ? pages.size_of(comm.rank()) : 0;
+  std::vector<GlobalIndex> my_counts(static_cast<size_t>(P), 0);
+  for (GlobalIndex g = my_first; g < my_first + my_size; ++g) {
+    const int proc = new_map[static_cast<size_t>(g)];
+    CHAOS_CHECK(proc >= 0 && proc < P,
+                "map array names a processor outside the machine");
+    ++my_counts[static_cast<size_t>(proc)];
+  }
+  std::vector<GlobalIndex> all_counts = comm.allgatherv<GlobalIndex>(my_counts);
+
+  TranslationTable t(Mode::kDistributed, n, P);
+  t.owned_counts_.assign(static_cast<size_t>(P), 0);
+  for (int r = 0; r < P; ++r)
+    for (int p = 0; p < P; ++p)
+      t.owned_counts_[static_cast<size_t>(p)] +=
+          all_counts[static_cast<size_t>(r) * P + static_cast<size_t>(p)];
+
+  std::vector<GlobalIndex> next(static_cast<size_t>(P), 0);
+  for (int r = 0; r < comm.rank(); ++r)
+    for (int p = 0; p < P; ++p)
+      next[static_cast<size_t>(p)] +=
+          all_counts[static_cast<size_t>(r) * P + static_cast<size_t>(p)];
+
+  t.homes_ = old.homes_;
+  t.homes_.resize(static_cast<size_t>(my_size));
+  GlobalIndex patched_here = 0;
+  for (GlobalIndex g = my_first; g < my_first + my_size; ++g) {
+    const int proc = new_map[static_cast<size_t>(g)];
+    const GlobalIndex off = next[static_cast<size_t>(proc)]++;
+    Home& h = t.homes_[static_cast<size_t>(g - my_first)];
+    if (h.proc != proc || h.offset != off) {
+      h = Home{proc, off};
+      ++patched_here;
+    }
+  }
+  comm.charge_work(static_cast<double>(my_size) * costs::kDeltaScan +
+                   static_cast<double>(patched_here) * costs::kPatchMove);
   return t;
 }
 

@@ -17,6 +17,8 @@ namespace chaos::core {
 
 using GlobalIndex = std::int64_t;
 
+class OwnerDelta;
+
 /// Home of one distributed-array element.
 struct Home {
   int proc = -1;
@@ -47,6 +49,20 @@ class TranslationTable {
   static TranslationTable from_full_map(sim::Comm& comm,
                                         std::span<const int> full_map);
 
+  /// Cross-epoch patch: derive the table of `new_map` from the previous
+  /// epoch's table plus the owner delta between the two maps, instead of
+  /// rebuilding from scratch. Homes of home-stable elements are copied
+  /// verbatim; only unstable entries are re-derived. The result is
+  /// element-for-element identical to building cold from `new_map` (same
+  /// mode as `old`), but the charged work is kDeltaScan per element plus
+  /// kPatchMove per unstable entry rather than the full construction scan.
+  /// Collective in distributed mode (per-page ownership counts exchange,
+  /// as in the cold build).
+  static TranslationTable patched(sim::Comm& comm,
+                                  const TranslationTable& old,
+                                  std::span<const int> new_map,
+                                  const OwnerDelta& delta);
+
   Mode mode() const { return mode_; }
   GlobalIndex global_size() const { return n_; }
 
@@ -65,6 +81,16 @@ class TranslationTable {
   /// The global indices owned by `proc`, in local-offset order.
   /// Replicated mode only.
   std::vector<GlobalIndex> owned_globals(int proc) const;
+
+  /// Raw home storage: the full table (replicated) or this rank's page
+  /// (distributed). Exposed for equivalence testing and delta computation.
+  std::span<const Home> homes() const { return homes_; }
+
+  friend bool operator==(const TranslationTable& a,
+                         const TranslationTable& b) {
+    return a.mode_ == b.mode_ && a.n_ == b.n_ && a.homes_ == b.homes_ &&
+           a.owned_counts_ == b.owned_counts_;
+  }
 
  private:
   TranslationTable(Mode mode, GlobalIndex n, int nranks)

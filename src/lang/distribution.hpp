@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/owner_delta.hpp"
 #include "core/remap.hpp"
 #include "core/translation_table.hpp"
 #include "sim/machine.hpp"
@@ -35,7 +36,7 @@ class Distribution {
     part::BlockLayout l(n > 0 ? n : 1, comm.size());
     for (GlobalIndex g = 0; g < n; ++g)
       map[static_cast<size_t>(g)] = l.owner(g);
-    return Distribution(comm, map);
+    return Distribution(comm, std::move(map));
   }
 
   /// DISTRIBUTE d(CYCLIC)
@@ -44,7 +45,7 @@ class Distribution {
     part::CyclicLayout l(n, comm.size());
     for (GlobalIndex g = 0; g < n; ++g)
       map[static_cast<size_t>(g)] = l.owner(g);
-    return Distribution(comm, map);
+    return Distribution(comm, std::move(map));
   }
 
   /// DISTRIBUTE d(map): irregular distribution from a maparray (map[g] =
@@ -67,17 +68,47 @@ class Distribution {
       slice = map.subspan(static_cast<std::size_t>(pages.first(comm.rank())),
                           static_cast<std::size_t>(pages.size_of(comm.rank())));
     }
-    return Distribution(core::TranslationTable::build_distributed(comm, slice));
+    return Distribution(core::TranslationTable::build_distributed(comm, slice),
+                        std::vector<int>(map.begin(), map.end()));
+  }
+
+  /// Cross-epoch successor: derive this epoch's translation table from
+  /// `old`'s by patching the owner delta's unstable entries instead of
+  /// rebuilding (core::TranslationTable::patched). Same table mode as
+  /// `old`; identical result to constructing cold from `new_map`.
+  static Distribution patched(sim::Comm& comm, const Distribution& old,
+                              std::vector<int> new_map,
+                              const core::OwnerDelta& delta) {
+    // Build the table before moving the map into the Distribution: function
+    // arguments are indeterminately sequenced, so passing both in one call
+    // could read a moved-from vector.
+    core::TranslationTable table =
+        core::TranslationTable::patched(comm, old.table(), new_map, delta);
+    return Distribution(std::move(table), std::move(new_map));
   }
 
   GlobalIndex global_size() const { return table_.global_size(); }
   const core::TranslationTable& table() const { return table_; }
 
+  /// The map array (map[g] = owning processor) the distribution was built
+  /// from, identical on every rank. Retained so a successor epoch can
+  /// compute the owner delta without re-deriving ownership from the table.
+  const std::vector<int>& map() const { return map_; }
+
   GlobalIndex owned_count(int rank) const { return table_.owned_count(rank); }
 
-  /// Global ids owned by `rank`, in local-offset order.
+  /// Global ids owned by `rank`, in local-offset order. Works in both
+  /// table modes: a paged table cannot answer this (each rank holds one
+  /// page), but the replicated map array can — offsets follow ascending
+  /// global order per owner, so the filtered map IS the offset order.
   std::vector<GlobalIndex> owned_globals(int rank) const {
-    return table_.owned_globals(rank);
+    if (table_.mode() == core::TranslationTable::Mode::kReplicated)
+      return table_.owned_globals(rank);
+    std::vector<GlobalIndex> out;
+    out.reserve(static_cast<std::size_t>(owned_count(rank)));
+    for (GlobalIndex g = 0; g < static_cast<GlobalIndex>(map_.size()); ++g)
+      if (map_[static_cast<std::size_t>(g)] == rank) out.push_back(g);
+    return out;
   }
 
   /// Monotone id distinguishing distribution epochs, for inspector-cache
@@ -85,12 +116,13 @@ class Distribution {
   std::uint64_t epoch() const { return epoch_; }
 
  private:
-  Distribution(sim::Comm& comm, const std::vector<int>& map)
+  Distribution(sim::Comm& comm, std::vector<int> map)
       : table_(core::TranslationTable::from_full_map(comm, map)),
+        map_(std::move(map)),
         epoch_(next_epoch()) {}
 
-  explicit Distribution(core::TranslationTable table)
-      : table_(std::move(table)), epoch_(next_epoch()) {}
+  Distribution(core::TranslationTable table, std::vector<int> map)
+      : table_(std::move(table)), map_(std::move(map)), epoch_(next_epoch()) {}
 
   static std::uint64_t next_epoch() {
     // Process-wide: caches are per-rank, but a Distribution may be created
@@ -102,6 +134,7 @@ class Distribution {
   }
 
   core::TranslationTable table_;
+  std::vector<int> map_;
   std::uint64_t epoch_;
 };
 

@@ -37,8 +37,43 @@ DistHandle Runtime::repartition(DistHandle from, core::PartitionerKind kind,
   const DistEntry& e = dist_entry(from);
   const std::vector<GlobalIndex> my_ids =
       e.dist->owned_globals(comm_.rank());
-  return partition(kind, my_ids, my_points, my_weights,
-                   e.dist->global_size());
+  std::vector<int> map = partition_map(kind, my_ids, my_points, my_weights,
+                                       e.dist->global_size());
+  return repartition(from, std::move(map));
+}
+
+DistHandle Runtime::repartition(DistHandle from, std::vector<int> new_map) {
+  {
+    const DistEntry& e = dist_entry(from);
+    CHAOS_CHECK(static_cast<GlobalIndex>(new_map.size()) ==
+                    e.dist->global_size(),
+                "successor map must cover the same element set");
+  }
+
+  if (!cross_epoch_reuse_) {
+    // Cold path: from-scratch table (same storage mode), empty registry.
+    const bool paged = dist_entry(from).dist->table().mode() ==
+                       core::TranslationTable::Mode::kDistributed;
+    return paged ? irregular_paged(new_map) : irregular(new_map);
+  }
+
+  auto delta = std::make_shared<core::OwnerDelta>(
+      core::OwnerDelta::compute(dist_entry(from).dist->map(), new_map));
+  comm_.charge_work(static_cast<double>(new_map.size()) *
+                    core::costs::kDeltaScan);
+  lang::Distribution next = lang::Distribution::patched(
+      comm_, *dist_entry(from).dist, std::move(new_map), *delta);
+  const DistHandle h = adopt(std::move(next));  // may reallocate dists_
+  DistEntry& ne = dists_[h.id];
+  ne.parent = from.id;
+  ne.delta = std::move(delta);
+  ne.registry.seed_from(comm_, *ne.dist, dists_[from.id].registry,
+                        *ne.delta);
+  return h;
+}
+
+const core::OwnerDelta* Runtime::owner_delta(DistHandle h) const {
+  return dist_entry(h).delta.get();
 }
 
 void Runtime::retire(DistHandle h) {
@@ -55,6 +90,10 @@ std::size_t Runtime::compact() {
     released += e.registry.footprint_bytes();
     e.registry = runtime::ScheduleRegistry{};
     e.dist.reset();  // translation table of a retired epoch
+    if (e.delta) {
+      released += e.delta->footprint_bytes();
+      e.delta.reset();  // lineage record of a retired epoch
+    }
   }
   for (ScheduleEntry& e : scheds_) {
     const bool dead = dists_[e.dist].retired ||
@@ -99,7 +138,15 @@ ScheduleHandle Runtime::plan_remap(DistHandle from, DistHandle to) {
   entry.dist = from.id;
   entry.to_dist = to.id;
   const std::vector<GlobalIndex> mine = src.dist->owned_globals(comm_.rank());
-  entry.sched = core::build_remap_schedule(comm_, mine, dst.dist->table());
+  // When `to` is a reuse successor of `from`, the owner delta replaces the
+  // full translation pass: only moved elements are looked up, stable ones
+  // derive their new offsets locally. The schedule itself is identical.
+  if (dst.parent == from.id && dst.delta != nullptr) {
+    entry.sched = core::build_remap_schedule_delta(
+        comm_, mine, dst.dist->table(), *dst.delta);
+  } else {
+    entry.sched = core::build_remap_schedule(comm_, mine, dst.dist->table());
+  }
   entry.new_owned = dst.dist->owned_count(comm_.rank());
   scheds_.push_back(std::move(entry));
   return ScheduleHandle{static_cast<std::uint32_t>(scheds_.size() - 1)};

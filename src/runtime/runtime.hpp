@@ -134,9 +134,38 @@ class Runtime {
   /// this rank's owned elements, in owned-offset order) into a fresh
   /// distribution epoch. `from` stays valid until retired — its data must
   /// still be readable while remap schedules execute.
+  ///
+  /// With cross-epoch reuse enabled (the default), the new epoch is a
+  /// *successor* of `from`: its translation table is patched from the old
+  /// one, its schedule registry is seeded with the old epoch's inspector
+  /// products (translations and ghost assignments carried forward for
+  /// owner-stable elements, cached schedules revalidated or regenerated),
+  /// and plan_remap(from, new) migrates only the owner delta. The
+  /// resulting state is element-for-element identical to a cold rebuild;
+  /// only the cost differs. See docs/API.md "Cross-epoch reuse".
   DistHandle repartition(DistHandle from, core::PartitionerKind kind,
                          std::span<const part::Point3> my_points,
                          std::span<const double> my_weights);
+
+  /// Adopt an externally computed map array (identical on every rank) as
+  /// the successor epoch of `from` — the map-driven flavor of
+  /// repartition() for apps that post-process partitioner output (e.g.
+  /// the DSMC cell remap). Same reuse semantics as above.
+  DistHandle repartition(DistHandle from, std::vector<int> new_map);
+  DistHandle repartition(DistHandle from, std::span<const int> new_map) {
+    return repartition(from, std::vector<int>(new_map.begin(), new_map.end()));
+  }
+
+  /// Cross-epoch reuse switch. Disabling it forces every repartition()
+  /// back to the cold path: a from-scratch translation table and an empty
+  /// schedule registry for the new epoch (useful for A/B measurement and
+  /// as the reference arm of the equivalence suite).
+  void set_cross_epoch_reuse(bool on) { cross_epoch_reuse_ = on; }
+  bool cross_epoch_reuse() const { return cross_epoch_reuse_; }
+
+  /// The owner delta that produced `h` as a successor epoch, or nullptr if
+  /// `h` was built cold. Benches read moved counts / stability from it.
+  const core::OwnerDelta* owner_delta(DistHandle h) const;
 
   /// Retire a distribution epoch after its data has been remapped away.
   /// Every LoopHandle / ScheduleHandle bound to it becomes invalid. Do not
@@ -204,6 +233,23 @@ class Runtime {
     lang::DistributedArray<T> fresh(checked(h).new_owned);
     remap<T>(h, array.owned_region(), fresh.local());
     array = std::move(fresh);
+  }
+
+  /// Asynchronous remap execution: post the plan's data motion on the comm
+  /// engine (for delta plans this ships only the owner delta's moved
+  /// elements; on-rank survivors are copied at post time) and return
+  /// without receiving. Overlap the transfer with local epoch rebuild
+  /// work, then comm_wait(). `src` and `dst` must stay valid until
+  /// completion.
+  template <typename T>
+  comm::CommHandle remap_async(ScheduleHandle h, std::span<const T> src,
+                               std::span<T> dst) {
+    const ScheduleEntry& e = checked(h);
+    CHAOS_CHECK(e.kind == ScheduleKind::kRemap,
+                "handle is not a remap schedule");
+    CHAOS_CHECK(static_cast<GlobalIndex>(dst.size()) >= e.new_owned,
+                "destination smaller than the plan's new owned region");
+    return engine_.post_transport<T>(e.sched, src, dst);
   }
 
   // ---- Phases C & D: iteration partitioning / remapping -------------
@@ -404,6 +450,11 @@ class Runtime {
     std::unique_ptr<lang::Distribution> dist;
     runtime::ScheduleRegistry registry;
     bool retired = false;
+    // Cross-epoch lineage: set when this epoch was produced by a reusing
+    // repartition. The delta is self-contained (owns its vectors), so
+    // retiring/compacting the parent cannot dangle it.
+    std::uint32_t parent = detail::kInvalidHandle;
+    std::shared_ptr<const core::OwnerDelta> delta;
   };
 
   struct LoopEntry {
@@ -442,6 +493,7 @@ class Runtime {
 
   sim::Comm& comm_;
   comm::Engine engine_{comm_};
+  bool cross_epoch_reuse_ = true;
   std::vector<DistEntry> dists_;
   std::vector<LoopEntry> loops_;
   // Deque, not vector: posted engine operations hold references to

@@ -1,5 +1,9 @@
 #include "runtime/schedule_registry.hpp"
 
+#include <algorithm>
+
+#include "core/costs.hpp"
+
 namespace chaos::runtime {
 
 const lang::LoopPlan& ScheduleRegistry::plan(sim::Comm& comm,
@@ -11,9 +15,13 @@ const lang::LoopPlan& ScheduleRegistry::plan(sim::Comm& comm,
     hash_ = std::make_unique<core::IndexHashTable>(
         dist.owned_count(comm.rank()));
     loops_.clear();
+    next_order_ = 0;
+    scan_order_pristine_ = true;
   }
 
-  CachedLoop& entry = loops_[ind.id()];
+  auto [it, fresh] = loops_.try_emplace(ind.id());
+  CachedLoop& entry = it->second;
+  if (fresh) entry.order = next_order_++;
   const bool stale_here = entry.version != ind.version();
 
   // The modification-record check the compiler emits: one rank's change
@@ -29,7 +37,12 @@ const lang::LoopPlan& ScheduleRegistry::plan(sim::Comm& comm,
 
   // Clear the loop's previous stamp (if any) so the recycled bit marks the
   // regenerated indirection array, exactly as the paper's CHARMM flow does.
-  if (entry.plan.stamp != 0) hash_->clear_stamp(entry.plan.stamp);
+  // A re-inspection leaves dead slots / appended entries behind, so the
+  // table's scan order no longer equals a compact replay of the plans.
+  if (entry.plan.stamp != 0) {
+    hash_->clear_stamp(entry.plan.stamp);
+    scan_order_pristine_ = false;
+  }
 
   entry.plan.local_refs.assign(ind.values().begin(), ind.values().end());
   entry.plan.stamp = hash_->hash(comm, dist.table(), entry.plan.local_refs);
@@ -75,6 +88,142 @@ core::Schedule ScheduleRegistry::incremental(
   expr.include = stamp_of(wanted_id);
   for (std::uint64_t id : covered_ids) expr.exclude |= stamp_of(id);
   return core::build_schedule(comm, *hash_, expr);
+}
+
+namespace {
+
+/// Carry a schedule across epochs: every element it touches is home-stable,
+/// so the send side (owner-local offsets) is unchanged and only the recv
+/// side (this rank's ghost slots) is rewritten through the old-local ->
+/// new-local map. No request exchange.
+core::Schedule patch_schedule(sim::Comm& comm, const core::Schedule& prior,
+                              const std::vector<GlobalIndex>& local_remap) {
+  std::vector<core::ScheduleBlock> send = prior.send_blocks();
+  std::vector<core::ScheduleBlock> recv = prior.recv_blocks();
+  double entries = 0;
+  for (core::ScheduleBlock& b : recv) {
+    for (GlobalIndex& i : b.indices) {
+      CHAOS_ASSERT(i >= 0 &&
+                       static_cast<std::size_t>(i) < local_remap.size() &&
+                       local_remap[static_cast<std::size_t>(i)] >= 0,
+                   "carried schedule references an unseeded ghost slot");
+      i = local_remap[static_cast<std::size_t>(i)];
+    }
+    entries += static_cast<double>(b.indices.size());
+  }
+  for (const core::ScheduleBlock& b : send)
+    entries += static_cast<double>(b.indices.size());
+  comm.charge_work(entries * core::costs::kSchedulePatchEntry);
+  return core::Schedule(std::move(send), std::move(recv));
+}
+
+}  // namespace
+
+void ScheduleRegistry::seed_from(sim::Comm& comm,
+                                 const lang::Distribution& dist,
+                                 const ScheduleRegistry& prior,
+                                 const core::OwnerDelta& delta) {
+  epoch_ = dist.epoch();
+  loops_.clear();
+  next_order_ = 0;
+  scan_order_pristine_ = true;  // seeding is itself a compact replay
+  hash_ = std::make_unique<core::IndexHashTable>(
+      dist.owned_count(comm.rank()));
+  if (!prior.hash_) return;
+  const int me = comm.rank();
+
+  // Resolve prior localized refs back to (global, old Home): old local
+  // indices are unique across live and dead entries until compact(), so a
+  // flat reverse table suffices.
+  std::vector<const core::IndexHashTable::Entry*> rev(
+      static_cast<std::size_t>(prior.hash_->local_extent()), nullptr);
+  for (const core::IndexHashTable::Entry& e : prior.hash_->entries())
+    rev[static_cast<std::size_t>(e.local_index)] = &e;
+
+  // Old local index -> new local index, filled as refs are seeded; rewrites
+  // the recv side of carried schedules.
+  std::vector<GlobalIndex> local_remap(rev.size(), -1);
+
+  // Replay loops in first-plan order: ghost slots are then assigned in
+  // exactly the first-encounter order a cold replay of the same plan calls
+  // would produce (this is what the equivalence suite checks bitwise).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order_ids;
+  order_ids.reserve(prior.loops_.size());
+  for (const auto& [id, cached] : prior.loops_)
+    order_ids.emplace_back(cached.order, id);
+  std::sort(order_ids.begin(), order_ids.end());
+
+  for (const auto& [ord, id] : order_ids) {
+    const CachedLoop& pl = prior.loops_.at(id);
+    const core::Stamp stamp = hash_->allocate_stamp();
+
+    // Pass A: collect the unstable refs that are not yet seeded; only they
+    // need a lookup through the new table (collective when distributed —
+    // every rank participates per loop, possibly with an empty batch).
+    bool loop_stable = true;
+    std::vector<GlobalIndex> unknown;
+    for (GlobalIndex lr : pl.plan.local_refs) {
+      const auto* e = rev[static_cast<std::size_t>(lr)];
+      if (delta.home_stable(e->global)) continue;
+      loop_stable = false;
+      if (hash_->find(e->global) == nullptr) unknown.push_back(e->global);
+    }
+    std::sort(unknown.begin(), unknown.end());
+    unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
+    const std::vector<core::Home> fresh = dist.table().lookup(comm, unknown);
+    stats_.seed_translations += unknown.size();
+
+    // Pass B: replay the reference stream, carrying stable Homes forward.
+    CachedLoop nl;
+    nl.version = pl.version;
+    nl.revision = pl.revision;
+    nl.order = next_order_++;
+    nl.plan.stamp = stamp;
+    nl.plan.local_refs.reserve(pl.plan.local_refs.size());
+    double seed_work = 0;
+    for (GlobalIndex lr : pl.plan.local_refs) {
+      const auto* e = rev[static_cast<std::size_t>(lr)];
+      const bool stable = delta.home_stable(e->global);
+      core::Home home = e->home;
+      if (!stable) {
+        // Either translated just above, or already seeded (with its new
+        // Home) by an earlier loop — seed_ref ignores `home` then.
+        const auto it =
+            std::lower_bound(unknown.begin(), unknown.end(), e->global);
+        if (it != unknown.end() && *it == e->global)
+          home = fresh[static_cast<std::size_t>(it - unknown.begin())];
+      }
+      const auto seeded = hash_->seed_ref(me, e->global, home, stamp, stable);
+      seed_work += seeded.inserted ? core::costs::kSeedInsert
+                                   : core::costs::kSeedHit;
+      local_remap[static_cast<std::size_t>(lr)] = seeded.local_index;
+      nl.plan.local_refs.push_back(seeded.local_index);
+    }
+    nl.plan.local_extent = hash_->local_extent();
+    comm.charge_work(seed_work);
+
+    // Schedule: carried verbatim (recv side remapped) when every element
+    // the loop touches is home-stable machine-wide — the allreduce also
+    // covers the send side, since every element an owner serves is some
+    // requester's ref. Otherwise regenerate from the seeded table: the
+    // request exchange is repeated but the translations were already saved.
+    // Carrying additionally requires the prior epoch's scan order to be
+    // pristine: after a re-inspection there, the old schedule's block
+    // order no longer matches what a cold rebuild over the seeded table
+    // produces (the sets would agree but the permutation would not).
+    const int stable_all = comm.allreduce_min(
+        (loop_stable && prior.scan_order_pristine_) ? 1 : 0);
+    if (stable_all == 1) {
+      nl.plan.schedule = patch_schedule(comm, pl.plan.schedule, local_remap);
+      ++stats_.patched_schedules;
+    } else {
+      nl.plan.schedule =
+          core::build_schedule(comm, *hash_, core::StampExpr::only(stamp));
+      ++stats_.rebuilt_schedules;
+    }
+    ++stats_.carried_plans;
+    loops_.emplace(id, std::move(nl));
+  }
 }
 
 }  // namespace chaos::runtime

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/hash_table.hpp"
+#include "core/owner_delta.hpp"
 #include "core/schedule.hpp"
 #include "lang/distribution.hpp"
 #include "lang/indirection.hpp"
@@ -52,10 +53,31 @@ class ScheduleRegistry {
   core::Schedule incremental(sim::Comm& comm, std::uint64_t wanted_id,
                              std::span<const std::uint64_t> covered_ids) const;
 
+  /// Cross-epoch carry (the paper's amortization claim, made concrete):
+  /// seed this registry — which must belong to the fresh epoch `dist` —
+  /// from the previous epoch's registry plus the owner delta between the
+  /// two maps. Every cached loop plan is replayed into a fresh hash table
+  /// in first-plan order: entries whose Home the delta proves stable carry
+  /// their translation (and ghost assignment) forward without a
+  /// translation-table lookup; only unstable entries are re-translated.
+  /// Loops touching exclusively home-stable elements machine-wide keep
+  /// their prior schedule with the recv side rewritten to the new ghost
+  /// slots (no request exchange); the rest regenerate their schedule from
+  /// the seeded table. The seeded state is element-for-element what a cold
+  /// inspector replay of the same plans (in the same order) would build.
+  /// Collective.
+  void seed_from(sim::Comm& comm, const lang::Distribution& dist,
+                 const ScheduleRegistry& prior, const core::OwnerDelta& delta);
+
   /// Statistics the benches report: how often preprocessing was reused.
   struct Stats {
     std::uint64_t builds = 0;
     std::uint64_t reuses = 0;
+    // Cross-epoch reuse counters (seed_from).
+    std::uint64_t carried_plans = 0;      ///< plans replayed into a new epoch
+    std::uint64_t patched_schedules = 0;  ///< schedules kept, recv remapped
+    std::uint64_t rebuilt_schedules = 0;  ///< schedules regenerated on seed
+    std::uint64_t seed_translations = 0;  ///< unstable entries re-translated
   };
   const Stats& stats() const { return stats_; }
 
@@ -85,12 +107,24 @@ class ScheduleRegistry {
   struct CachedLoop {
     std::uint64_t version = ~std::uint64_t{0};
     std::uint64_t revision = 0;
+    /// First-plan sequence number within the epoch. seed_from replays
+    /// loops in this order so cross-epoch ghost slots land exactly where a
+    /// cold replay of the same plan calls would put them.
+    std::uint64_t order = 0;
     lang::LoopPlan plan;
   };
 
   core::Stamp stamp_of(std::uint64_t ind_id) const;
 
   std::uint64_t epoch_ = 0;  // distribution epoch the registry is bound to
+  std::uint64_t next_order_ = 0;
+  /// True while the hash table's entry order equals a compact replay of
+  /// the current plans (no re-inspection has interleaved entries or left
+  /// dead slots). Only then does a prior schedule's block order match what
+  /// a cold rebuild would produce, so only then may seed_from carry it;
+  /// re-inspections flip this to false for the rest of the epoch. The
+  /// transition is machine-wide symmetric (re-inspection is collective).
+  bool scan_order_pristine_ = true;
   std::unique_ptr<core::IndexHashTable> hash_;
   std::map<std::uint64_t, CachedLoop> loops_;  // by IndirectionArray::id
   Stats stats_;

@@ -5,6 +5,8 @@
 #include <algorithm>
 
 #include "core/chaos.hpp"
+#include "core/owner_delta.hpp"
+#include "support/equivalence.hpp"
 #include "util/rng.hpp"
 
 namespace chaos::core {
@@ -12,6 +14,7 @@ namespace {
 
 using sim::Comm;
 using sim::Machine;
+namespace ts = testing_support;
 
 TEST(Remap, BlockToReversedDistribution) {
   // 8 elements, block on 2 ranks -> reversed ownership.
@@ -80,8 +83,48 @@ TEST(Remap, RandomRedistributionsPreserveAllValues) {
     transport<double>(comm, sched, old_data, new_data);
 
     auto new_mine = new_t.owned_globals(comm.rank());
+    std::vector<double> expected(new_mine.size());
     for (std::size_t i = 0; i < new_mine.size(); ++i)
-      EXPECT_EQ(new_data[i], 3.0 + static_cast<double>(new_mine[i]));
+      expected[i] = 3.0 + static_cast<double>(new_mine[i]);
+    EXPECT_TRUE(ts::spans_equal(new_data, expected, "remapped values"));
+  });
+}
+
+// The delta-aware remap plan (cross-epoch reuse) must be bitwise identical
+// to the cold plan — same blocks, same order — and move data identically.
+TEST(Remap, DeltaPlanMatchesColdPlan) {
+  const int P = 4;
+  Machine m(P);
+  m.run([&](Comm& comm) {
+    const GlobalIndex n = 200;
+    Rng rng(515);
+    std::vector<int> old_map(static_cast<size_t>(n));
+    for (auto& p : old_map) p = static_cast<int>(rng.below(P));
+    std::vector<int> new_map = old_map;
+    // Boundary-style move plus some uniform scatter.
+    for (std::size_t g = 150; g < new_map.size(); ++g)
+      new_map[g] = static_cast<int>(rng.below(P));
+    for (auto& p : new_map)
+      if (rng.uniform() < 0.05) p = static_cast<int>(rng.below(P));
+
+    auto old_t = TranslationTable::from_full_map(comm, old_map);
+    auto new_t = TranslationTable::from_full_map(comm, new_map);
+    const OwnerDelta delta = OwnerDelta::compute(old_map, new_map);
+
+    auto mine = old_t.owned_globals(comm.rank());
+    const Schedule cold = build_remap_schedule(comm, mine, new_t);
+    const Schedule hot = build_remap_schedule_delta(comm, mine, new_t, delta);
+    EXPECT_TRUE(ts::schedules_equal(hot, cold));
+
+    std::vector<double> src(mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      src[i] = static_cast<double>(mine[i] + 1);
+    std::vector<double> via_cold(
+        static_cast<size_t>(new_t.owned_count(comm.rank())), -1.0);
+    std::vector<double> via_hot(via_cold.size(), -2.0);
+    transport<double>(comm, cold, src, via_cold);
+    transport<double>(comm, hot, src, via_hot);
+    EXPECT_TRUE(ts::spans_equal(via_hot, via_cold, "remapped data"));
   });
 }
 

@@ -2,7 +2,9 @@
 // conventions, lookups, and error handling.
 #include <gtest/gtest.h>
 
+#include "core/owner_delta.hpp"
 #include "core/translation_table.hpp"
+#include "support/equivalence.hpp"
 #include "util/rng.hpp"
 
 namespace chaos::core {
@@ -10,6 +12,7 @@ namespace {
 
 using sim::Comm;
 using sim::Machine;
+namespace ts = testing_support;
 
 // Slice a full map into rank r's BLOCK page.
 std::vector<int> page_of(const std::vector<int>& full, int rank, int P) {
@@ -128,6 +131,42 @@ TEST(TranslationTable, RejectsInvalidProcInMap) {
                  TranslationTable::from_full_map(c, full);
                }),
                Error);
+}
+
+// Cross-epoch patching: for random old/new map pairs, the patched table
+// (copy old, re-derive only unstable entries) must equal a cold build from
+// the new map — in both storage modes.
+TEST(TranslationTable, PatchedEqualsColdBuildInBothModes) {
+  const int P = 4;
+  Machine m(P);
+  m.run([&](Comm& c) {
+    for (std::uint64_t trial = 0; trial < 8; ++trial) {
+      Rng rng(91 + trial);
+      const GlobalIndex n = 64 + static_cast<GlobalIndex>(rng.below(100));
+      std::vector<int> old_map(static_cast<size_t>(n)),
+          new_map(static_cast<size_t>(n));
+      for (auto& p : old_map) p = static_cast<int>(rng.below(P));
+      new_map = old_map;
+      for (auto& p : new_map)
+        if (rng.uniform() < 0.2) p = static_cast<int>(rng.below(P));
+      const OwnerDelta delta = OwnerDelta::compute(old_map, new_map);
+
+      // Replicated.
+      auto old_r = TranslationTable::from_full_map(c, old_map);
+      auto cold_r = TranslationTable::from_full_map(c, new_map);
+      auto hot_r = TranslationTable::patched(c, old_r, new_map, delta);
+      EXPECT_TRUE(ts::tables_equal(hot_r, cold_r)) << "trial " << trial;
+      EXPECT_TRUE(hot_r == cold_r);
+
+      // Distributed (paged).
+      auto old_d = TranslationTable::build_distributed(
+          c, page_of(old_map, c.rank(), P));
+      auto cold_d = TranslationTable::build_distributed(
+          c, page_of(new_map, c.rank(), P));
+      auto hot_d = TranslationTable::patched(c, old_d, new_map, delta);
+      EXPECT_TRUE(ts::tables_equal(hot_d, cold_d)) << "trial " << trial;
+    }
+  });
 }
 
 TEST(TranslationTable, LargeRandomMapRoundTrip) {

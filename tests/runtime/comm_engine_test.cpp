@@ -123,6 +123,125 @@ TEST(RuntimeCommEngine, MigrateAsyncOverlapsLocalWork) {
   });
 }
 
+// ---- engine edge cases -----------------------------------------------------
+
+// Delta-migrate with nothing to move: every rank posts an empty batch. The
+// operation must complete (after the collective schedule build) without
+// sending a byte, and the engine must go idle.
+TEST(RuntimeCommEngine, EmptyMigrateBatchCompletes) {
+  Machine m(3);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> dest;           // no items anywhere
+    const std::vector<double> items;
+    std::vector<double> out{-7.0};         // pre-existing content survives
+    const comm::Engine::Traffic before = rt.engine().traffic();
+    const comm::CommHandle h =
+        rt.migrate_async<double>(dest, items, out);
+    rt.comm_flush();
+    rt.comm_wait(h);
+    EXPECT_EQ(out, (std::vector<double>{-7.0}));
+    EXPECT_TRUE(rt.engine().idle());
+    EXPECT_EQ(rt.engine().traffic().bytes, before.bytes);
+  });
+}
+
+// Flushing with zero posted operations is a no-op: no tag draw, no
+// messages, engine still idle — and a normal operation afterwards works.
+TEST(RuntimeCommEngine, FlushWithZeroPostedOpsIsNoOp) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::uint64_t sent_before = comm.stats().msgs_sent;
+    rt.comm_flush();
+    rt.comm_flush();
+    EXPECT_TRUE(rt.engine().idle());
+    EXPECT_EQ(comm.stats().msgs_sent, sent_before);
+
+    TwoLoops f;
+    setup_two_loops(rt, comm, f);
+    std::vector<double> x(static_cast<std::size_t>(rt.local_extent(f.dist)),
+                          -1.0);
+    for (std::size_t i = 0; i < 5; ++i)
+      x[i] = comm.rank() * 5 + static_cast<double>(i);
+    rt.gather_async<double>(f.a, std::span<double>{x});
+    rt.comm_flush();
+    rt.comm_wait_all();
+    EXPECT_TRUE(rt.engine().idle());
+  });
+}
+
+// wait() on an operation that already completed — locally empty at post
+// time, or fully received by an earlier wait — must return immediately and
+// stay callable; test()/done() agree.
+TEST(RuntimeCommEngine, WaitOnCompletedHandleIsIdempotent) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    TwoLoops f;
+    setup_two_loops(rt, comm, f);
+    std::vector<double> x(static_cast<std::size_t>(rt.local_extent(f.dist)),
+                          -1.0);
+    for (std::size_t i = 0; i < 5; ++i)
+      x[i] = comm.rank() * 5 + static_cast<double>(i);
+
+    const comm::CommHandle h =
+        rt.gather_async<double>(f.a, std::span<double>{x});
+    rt.comm_flush();
+    rt.comm_wait(h);
+    EXPECT_TRUE(rt.engine().done(h));
+    rt.comm_wait(h);  // second wait: immediate no-op
+    EXPECT_TRUE(rt.engine().test(h));
+    EXPECT_TRUE(rt.engine().done(h));
+    EXPECT_TRUE(rt.engine().idle());
+    // Rank 1 fetches nothing for loop a (it has no references): its share
+    // completed at post time, and both waits returned without hanging the
+    // machine-wide flush discipline. Rank 0's ghosts arrived exactly once:
+    // global 6 lands in the first ghost slot.
+    if (comm.rank() == 0) EXPECT_EQ(x[5], 6.0);
+  });
+}
+
+// The delta remap plan of a reusing repartition ships only the moved
+// elements: the engine's traffic counter grows by exactly the moved bytes.
+TEST(RuntimeCommEngine, DeltaRemapMigratesOnlyMovedBytes) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+    const DistHandle d1 = rt.irregular(map);
+
+    std::vector<int> next = map;
+    next[9] = 0;  // exactly one element changes owner (rank 1 -> rank 0)
+    const DistHandle d2 = rt.repartition(d1, std::span<const int>(next));
+    const ScheduleHandle plan = rt.plan_remap(d1, d2);
+
+    const std::size_t old_owned =
+        static_cast<std::size_t>(rt.owned_count(d1));
+    std::vector<double> src(old_owned);
+    for (std::size_t i = 0; i < old_owned; ++i)
+      src[i] = comm.rank() * 100 + static_cast<double>(i);
+    std::vector<double> dst(static_cast<std::size_t>(rt.owned_count(d2)),
+                            -1.0);
+
+    const comm::Engine::Traffic before = rt.engine().traffic();
+    const comm::CommHandle h = rt.remap_async<double>(
+        plan, std::span<const double>{src}, std::span<double>{dst});
+    rt.comm_flush();
+    rt.comm_wait(h);
+
+    const comm::Engine::Traffic after = rt.engine().traffic();
+    // Only rank 1 ships anything: one message carrying one double.
+    EXPECT_EQ(after.bytes - before.bytes,
+              comm.rank() == 1 ? sizeof(double) : 0u);
+    EXPECT_EQ(after.messages - before.messages, comm.rank() == 1 ? 1u : 0u);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(dst.back(), 104.0);  // global 9 was rank 1's offset 4
+      EXPECT_EQ(dst[0], 0.0);        // stable elements keep their values
+    }
+  });
+}
+
 // ---- registry memory hygiene ----------------------------------------------
 
 TEST(RuntimeCompact, ReleasesRetiredEpochStateAndKeepsLiveEpochsWorking) {

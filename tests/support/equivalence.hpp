@@ -1,0 +1,126 @@
+// Property-style equivalence helpers shared by the cross-epoch reuse
+// harness and the remap/schedule tests: structural, element-for-element
+// comparison of translation tables, communication schedules, loop plans,
+// and raw arrays, with a bounded diff (first mismatches, with context) on
+// failure instead of a bare boolean.
+//
+// All helpers return ::testing::AssertionResult so call sites read
+//   EXPECT_TRUE(testing_support::tables_equal(patched, cold));
+// and a failure explains *where* the structures diverge.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/translation_table.hpp"
+#include "lang/indirection.hpp"
+
+namespace chaos::testing_support {
+
+inline constexpr std::size_t kMaxReportedDiffs = 5;
+
+// Declared before spans_equal so the template's deferred lookup (ordinary
+// lookup from the definition context) can print Homes.
+inline std::ostream& operator<<(std::ostream& os, const core::Home& h) {
+  return os << "(proc " << h.proc << ", off " << h.offset << ")";
+}
+
+/// Element-wise comparison of two sequences with a bounded mismatch report.
+template <typename T>
+::testing::AssertionResult spans_equal(std::span<const T> a,
+                                       std::span<const T> b,
+                                       const std::string& what) {
+  std::ostringstream os;
+  if (a.size() != b.size()) {
+    os << what << ": size mismatch (" << a.size() << " vs " << b.size()
+       << ")";
+    return ::testing::AssertionFailure() << os.str();
+  }
+  std::size_t reported = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    ++total;
+    if (reported < kMaxReportedDiffs) {
+      if (reported == 0) os << what << ": ";
+      os << "[" << i << "] " << a[i] << " vs " << b[i] << "; ";
+      ++reported;
+    }
+  }
+  if (total == 0) return ::testing::AssertionSuccess();
+  os << total << " mismatching element(s) of " << a.size();
+  return ::testing::AssertionFailure() << os.str();
+}
+
+template <typename T>
+::testing::AssertionResult spans_equal(const std::vector<T>& a,
+                                       const std::vector<T>& b,
+                                       const std::string& what) {
+  return spans_equal(std::span<const T>{a}, std::span<const T>{b}, what);
+}
+
+/// Translation tables: mode, global size, per-proc owned counts, and raw
+/// home storage (the full table in replicated mode, this rank's page in
+/// distributed mode) must all match.
+inline ::testing::AssertionResult tables_equal(
+    const core::TranslationTable& a, const core::TranslationTable& b) {
+  if (a.mode() != b.mode())
+    return ::testing::AssertionFailure() << "translation table mode differs";
+  if (a.global_size() != b.global_size())
+    return ::testing::AssertionFailure()
+           << "global size: " << a.global_size() << " vs " << b.global_size();
+  return spans_equal(a.homes(), b.homes(), "homes");
+}
+
+/// Schedules: identical block structure on both sides — same peers in the
+/// same order, same index lists.
+inline ::testing::AssertionResult schedules_equal(const core::Schedule& a,
+                                                  const core::Schedule& b) {
+  const auto side = [](const std::vector<core::ScheduleBlock>& sa,
+                       const std::vector<core::ScheduleBlock>& sb,
+                       const char* name) -> ::testing::AssertionResult {
+    if (sa.size() != sb.size())
+      return ::testing::AssertionFailure()
+             << name << " block count: " << sa.size() << " vs " << sb.size();
+    for (std::size_t k = 0; k < sa.size(); ++k) {
+      if (sa[k].proc != sb[k].proc)
+        return ::testing::AssertionFailure()
+               << name << " block " << k << " peer: " << sa[k].proc << " vs "
+               << sb[k].proc;
+      auto r = spans_equal(std::span<const core::GlobalIndex>{sa[k].indices},
+                           std::span<const core::GlobalIndex>{sb[k].indices},
+                           std::string(name) + " block " + std::to_string(k) +
+                               " (peer " + std::to_string(sa[k].proc) +
+                               ") indices");
+      if (!r) return r;
+    }
+    return ::testing::AssertionSuccess();
+  };
+  if (auto r = side(a.send_blocks(), b.send_blocks(), "send"); !r) return r;
+  return side(a.recv_blocks(), b.recv_blocks(), "recv");
+}
+
+/// Loop plans: localized references, required extent, and the schedule.
+/// (Stamps are epoch-local bookkeeping and are compared too — a seeded
+/// epoch re-derives them in the same order a cold replay would.)
+inline ::testing::AssertionResult plans_equal(const lang::LoopPlan& a,
+                                              const lang::LoopPlan& b) {
+  if (auto r = spans_equal(std::span<const core::GlobalIndex>{a.local_refs},
+                           std::span<const core::GlobalIndex>{b.local_refs},
+                           "localized refs");
+      !r)
+    return r;
+  if (a.local_extent != b.local_extent)
+    return ::testing::AssertionFailure() << "local extent: " << a.local_extent
+                                         << " vs " << b.local_extent;
+  if (a.stamp != b.stamp)
+    return ::testing::AssertionFailure()
+           << "stamp: " << a.stamp << " vs " << b.stamp;
+  return schedules_equal(a.schedule, b.schedule);
+}
+
+}  // namespace chaos::testing_support
