@@ -29,6 +29,13 @@ struct CharmmScaled {
   std::uint64_t msgs_sent = 0;
   std::uint64_t coalesced_msgs = 0;
   std::uint64_t coalesced_segments = 0;
+
+  // Step-graph pipelining accounting (kStepGraph/kStepGraphEager shapes)
+  // and per-step traffic attribution, copied through from the driver.
+  std::uint64_t steps_overlapped = 0;
+  std::uint64_t pipelined_gathers = 0;
+  std::uint64_t hazard_stalls = 0;
+  std::vector<charmm::ParallelCharmmResult::StepTraffic> step_traffic;
 };
 
 /// Run `real_steps` steps (with one list update cadence of
@@ -50,6 +57,10 @@ inline CharmmScaled run_charmm_cycle(int nranks,
   out.msgs_sent = r.msgs_sent;
   out.coalesced_msgs = r.coalesced_msgs;
   out.coalesced_segments = r.coalesced_segments;
+  out.steps_overlapped = r.steps_overlapped;
+  out.pipelined_gathers = r.pipelined_gathers;
+  out.hazard_stalls = r.hazard_stalls;
+  out.step_traffic = r.step_traffic;
 
   const int regens = std::max(1, r.phases.nb_rebuilds - 1);
   out.regen_per_update = r.phases.schedule_regen / regens;

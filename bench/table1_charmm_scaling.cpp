@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
 
   charmm::ParallelCharmmConfig cfg;
   cfg.partitioner = core::PartitionerKind::kRcb;
-  cfg.merged_schedules = true;
+  cfg.shape = charmm::CharmmShape::kMerged;
   cfg.run.nb_rebuild_every = 25;
   if (opt.quick) cfg.system = charmm::SystemParams::small(600);
 

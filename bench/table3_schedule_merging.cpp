@@ -36,14 +36,13 @@ int main(int argc, char** argv) {
       engine_comm, engine_exec, multi_msgs, engine_msgs, engine_ratio;
   for (int P : procs) {
     std::cerr << "table3: running P=" << P << " (merged)...\n";
-    cfg.merged_schedules = true;
-    cfg.engine_coalesced = false;
+    cfg.shape = charmm::CharmmShape::kMerged;
     auto merged = run_charmm_cycle(P, cfg, real_steps, 1000, 40);
     std::cerr << "table3: running P=" << P << " (multiple)...\n";
-    cfg.merged_schedules = false;
+    cfg.shape = charmm::CharmmShape::kMultiple;
     auto multi = run_charmm_cycle(P, cfg, real_steps, 1000, 40);
     std::cerr << "table3: running P=" << P << " (engine-coalesced)...\n";
-    cfg.engine_coalesced = true;
+    cfg.shape = charmm::CharmmShape::kEngine;
     auto engine = run_charmm_cycle(P, cfg, real_steps, 1000, 40);
     merged_comm.push_back(merged.communication);
     merged_exec.push_back(merged.execution);

@@ -29,6 +29,11 @@ double run_config(int P, int grid, chaos::dsmc::MigrationMode mode,
   cfg.params.work_scale = 0.5;
   cfg.steps = real_steps;
   cfg.migration = mode;
+  // Pin both arms to the imperative executor: the regular-schedule path
+  // cannot run on the step graph, and letting the lightweight arm ride
+  // the pipelined default would fold cross-step overlap gains into a
+  // table that isolates the *schedule* cost difference (paper §4.2.2).
+  cfg.executor = chaos::dsmc::DsmcExecutor::kImperative;
 
   chaos::sim::Machine machine(P);
   auto r = chaos::dsmc::run_parallel_dsmc(machine, cfg);

@@ -34,7 +34,7 @@ Phases run_mode(int P, bool compiler, bool quick) {
   cfg.repartition_every = quick ? 4 : 25;
   cfg.alternate_partitioners = true;
   cfg.partitioner = chaos::core::PartitionerKind::kRcb;
-  cfg.merged_schedules = false;
+  cfg.shape = chaos::charmm::CharmmShape::kMultiple;
   cfg.compiler_generated = compiler;
 
   chaos::sim::Machine machine(P);

@@ -29,6 +29,11 @@ Result run_mode(int P, bool compiler, bool quick) {
   cfg.params.work_scale = 2.0;
   cfg.steps = quick ? 10 : 50;
   cfg.compiler_generated = compiler;
+  // The compiler arm is forced onto the imperative path; pin the manual
+  // arm there too so the per-phase rows (the MOVE migration especially)
+  // are timed identically and the table measures generated-code overhead,
+  // not executor-shape differences.
+  cfg.executor = chaos::dsmc::DsmcExecutor::kImperative;
 
   chaos::sim::Machine machine(P);
   auto r = chaos::dsmc::run_parallel_dsmc(machine, cfg);

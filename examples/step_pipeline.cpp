@@ -1,0 +1,118 @@
+// Example: the declarative step-graph executor (chaos::StepGraph).
+//
+// Two independent gather/compute/scatter-add steps over disjoint array
+// pairs plus a local advance step. Declared once; the runtime derives the
+// hazards from the (array, access-kind) sets and — with pipelining on —
+// posts one step's gathers while the other step's scatter-adds are still
+// in flight. Run both arms and print the modeled-time difference; the
+// results are bitwise identical by construction.
+//
+// Run: ./step_pipeline [ranks]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chaos;
+  using core::GlobalIndex;
+
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const GlobalIndex n = 4096;
+  const int iterations = 40;
+
+  auto run_arm = [&](bool pipelining, StepGraph::Stats* stats_out) {
+    sim::Machine machine(ranks);
+    machine.run([&](sim::Comm& comm) {
+      Runtime rt(comm);
+      const DistHandle dist = rt.block(n);
+      const std::vector<GlobalIndex> mine = rt.owned_globals(dist);
+
+      // Each rank references a strided window of remote elements.
+      // Wide enough ghost windows that the transfers genuinely cost
+      // modeled wire time (the regime pipelining exists for).
+      std::vector<GlobalIndex> refs_a, refs_b;
+      for (int k = 0; k < 480; ++k) {
+        refs_a.push_back((mine.front() + 1024 + 2 * k + 13) % n);
+        refs_b.push_back((mine.front() + 2048 + 2 * k + 29) % n);
+      }
+      lang::IndirectionArray ind_a(refs_a), ind_b(refs_b);
+      const LoopHandle loop_a = rt.bind(dist, ind_a);
+      const LoopHandle loop_b = rt.bind(dist, ind_b);
+      const ScheduleHandle ha = rt.inspect(loop_a);
+      const ScheduleHandle hb = rt.inspect(loop_b);
+      const std::span<const GlobalIndex> la = rt.local_refs(loop_a);
+      const std::span<const GlobalIndex> lb = rt.local_refs(loop_b);
+
+      const auto extent = static_cast<std::size_t>(rt.local_extent(dist));
+      std::vector<double> xa(extent, 1.0), ya(extent, 0.0);
+      std::vector<double> xb(extent, 2.0), yb(extent, 0.0);
+
+      // Declare WHAT each step touches; the runtime decides WHEN the
+      // communication happens.
+      StepGraph g(rt);
+      g.set_pipelining(pipelining);
+      g.step("field_a")
+          .reads(xa, ha)
+          .compute([&] {
+            std::fill(ya.begin(), ya.end(), 0.0);
+            for (GlobalIndex j : la)
+              ya[static_cast<std::size_t>(j)] +=
+                  xa[static_cast<std::size_t>(j)];
+            comm.charge_work(static_cast<double>(la.size()) * 6.0);
+          })
+          .writes_add(ya, ha);
+      g.step("field_b")
+          .reads(xb, hb)
+          .compute([&] {
+            std::fill(yb.begin(), yb.end(), 0.0);
+            for (GlobalIndex j : lb)
+              yb[static_cast<std::size_t>(j)] +=
+                  0.5 * xb[static_cast<std::size_t>(j)];
+            comm.charge_work(static_cast<double>(lb.size()) * 6.0);
+          })
+          .writes_add(yb, hb);
+      g.step("advance")
+          .uses(ya)
+          .uses(yb)
+          .updates(xa)
+          .updates(xb)
+          .compute([&] {
+            for (std::size_t i = 0; i < mine.size(); ++i) {
+              xa[i] = 0.5 * xa[i] + 0.25 * ya[i];
+              xb[i] = 0.75 * xb[i] + 0.125 * yb[i];
+            }
+            comm.charge_work(static_cast<double>(mine.size()) * 2.0);
+          });
+
+      rt.run(g, iterations);
+      if (comm.rank() == 0 && stats_out) *stats_out = g.stats();
+    });
+    return machine.execution_time();
+  };
+
+  StepGraph::Stats stats;
+  const double eager = run_arm(false, nullptr);
+  const double pipelined = run_arm(true, &stats);
+
+  std::cout << "step_pipeline: " << ranks << " ranks, " << iterations
+            << " iterations, two independent field steps + advance\n\n";
+  Table t("Eager vs pipelined (modeled seconds, bitwise-identical results)");
+  t.header({"Arm", "Execution"});
+  t.row({"eager post/flush/wait", Table::num(eager, 4)});
+  t.row({"pipelined step graph", Table::num(pipelined, 4)});
+  t.print();
+  std::cout << "\n  gather batches hoisted ahead of their step: "
+            << stats.pipelined_gathers
+            << "\n  batches concurrently in flight (overlaps): "
+            << stats.overlapped_posts
+            << "\n  forced hazard stalls: " << stats.hazard_stalls
+            << "\n  sim-clock reduction: "
+            << Table::num(eager > 0 ? 100.0 * (eager - pipelined) / eager : 0,
+                          2)
+            << " %\n";
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "apps/charmm/parallel.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "apps/charmm/forces.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
 
 namespace chaos::charmm {
 
@@ -76,14 +78,14 @@ class Driver {
     partition_and_remap(cfg_.partitioner, /*remap_list=*/false);
     rebuild_nb_list();
     build_schedules(/*regen=*/false);
+    if (use_graph() && !graph_) declare_graph();
 
     int repartitions = 0;
     for (int step = 0; step < cfg_.run.steps; ++step) {
-      const bool repartition_due =
-          cfg_.repartition_every > 0 && step > 0 &&
-          step % cfg_.repartition_every == 0;
-      const bool rebuild_due = !repartition_due && step > 0 &&
-                               step % cfg_.run.nb_rebuild_every == 0;
+      const bool repartition_due = quiesces_at(step) &&
+                                   cfg_.repartition_every > 0 &&
+                                   step % cfg_.repartition_every == 0;
+      const bool rebuild_due = quiesces_at(step) && !repartition_due;
 
       if (repartition_due) {
         ++repartitions;
@@ -99,12 +101,21 @@ class Driver {
         build_schedules(/*regen=*/true);
       }
 
-      executor_step();
+      // Next-iteration gathers are worth hoisting only if the next
+      // iteration actually executes without an intervening quiesce
+      // (repartition / list rebuild) that would discard them.
+      const int next = step + 1;
+      executor_step(/*arm_next=*/next < cfg_.run.steps && !quiesces_at(next));
     }
+
+    // Drain the pipeline: trailing scatters (and hoisted next-iteration
+    // gathers) may still be in flight after the last advance.
+    if (graph_) timed(&CharmmPhaseTimes::executor, [&] { graph_->quiesce(); });
 
     phase_out_[static_cast<size_t>(comm_.rank())] = t_;
     absorb_epoch_stats(dist_);
     report_reuse();
+    report_step_stats();
     if (cfg_.collect_state) collect_state();
   }
 
@@ -119,6 +130,32 @@ class Driver {
     reused_homes_ += hs.reused_homes;
     patched_schedules_ += rs.patched_schedules;
     rebuilt_schedules_ += rs.rebuilt_schedules;
+  }
+
+  /// Fold the step graph's pipelining counters and per-step traffic into
+  /// the shared result (collective: every rank joins the sums).
+  void report_step_stats() {
+    if (!graph_) return;
+    const StepGraph::Stats& gs = graph_->stats();
+    if (comm_.rank() == 0) {
+      shared_.steps_overlapped = gs.overlapped_posts;
+      shared_.pipelined_gathers = gs.pipelined_gathers;
+      shared_.hazard_stalls = gs.hazard_stalls;
+    }
+    const auto total = [&](std::uint64_t v) {
+      return static_cast<std::uint64_t>(
+          comm_.allreduce_sum(static_cast<long long>(v)));
+    };
+    for (std::size_t i = 0; i < graph_->size(); ++i) {
+      const Step& s = graph_->at(i);
+      ParallelCharmmResult::StepTraffic st;
+      st.name = s.name();
+      st.gather_msgs = total(s.gather_traffic().messages);
+      st.gather_bytes = total(s.gather_traffic().bytes);
+      st.write_msgs = total(s.write_traffic().messages);
+      st.write_bytes = total(s.write_traffic().bytes);
+      if (comm_.rank() == 0) shared_.step_traffic.push_back(std::move(st));
+    }
   }
 
   void report_reuse() {
@@ -184,6 +221,10 @@ class Driver {
   /// the initial distribution regenerates it instead (paper §4.1.1: "this
   /// regeneration was performed because atoms were redistributed").
   void partition_and_remap(core::PartitionerKind kind, bool remap_list) {
+    // A repartition invalidates in-flight pipelining for the affected
+    // arrays: complete it before the epoch machinery starts. The graph
+    // itself re-arms in build_schedules() via retarget().
+    if (graph_) graph_->quiesce();
     DistHandle new_dist;
     timed_with_overhead(
         &CharmmPhaseTimes::data_partition, kCompilerPartitionOverhead, [&] {
@@ -320,6 +361,11 @@ class Driver {
     timed(regen ? &CharmmPhaseTimes::schedule_regen
                 : &CharmmPhaseTimes::schedule_gen,
           [&] {
+            // Re-inspection rebuilds schedules in place; any pipelined
+            // operation still posted on them must complete first.
+            if (graph_) graph_->quiesce();
+            const ScheduleHandle prev_bond = h_bond_;
+            const ScheduleHandle prev_nb = h_nb_;
             const double t0 = comm_.now();
             if (!regen) {
               // Fresh distribution epoch: rebind both loops and refresh the
@@ -342,32 +388,162 @@ class Driver {
             bond_refs_ = rt_.local_refs(bond_loop_);
             jnb_local_ = rt_.local_refs(jnb_loop_);
 
-            if (shape() == CommShape::kMerged) {
+            if (shape() == CharmmShape::kMerged) {
               h_all_ = rt_.merge({h_bond_, h_nb_});
-            } else {
+            } else if (!use_graph()) {
               // Disjoint complement used for the scatter direction so
               // overlapping ghost contributions are delivered exactly once
-              // (both the blocking-multiple and engine-coalesced shapes).
+              // (the multiple and engine-coalesced shapes, which share one
+              // accumulator between the loops).
               h_nb_excl_ = rt_.incremental(h_nb_, h_bond_);
             }
             extent_ = rt_.local_extent(dist_);
             pos_.resize(static_cast<size_t>(extent_));
             force_.assign(static_cast<size_t>(extent_), part::Vec3{});
+            // The step graph gives the bonded step its own accumulator so
+            // the two force steps touch disjoint arrays: each scatters its
+            // full schedule (no incremental exclusion needed), and the
+            // bonded scatter legally overlaps the non-bonded compute.
+            if (use_graph())
+              force_bond_.assign(static_cast<size_t>(extent_), part::Vec3{});
             charge_overhead(comm_.now() - t0, kCompilerInspectorOverhead);
+
+            // Re-arm the step graph onto the (possibly repartitioned)
+            // epoch's schedules: the declared steps, computes, and array
+            // bindings survive — only the handles are swapped.
+            if (graph_) {
+              const auto maybe = [&](ScheduleHandle o, ScheduleHandle n) {
+                if (!(o == n)) graph_->retarget(o, n);
+              };
+              maybe(prev_bond, h_bond_);
+              maybe(prev_nb, h_nb_);
+            }
           });
   }
 
-  /// Executor communication shape. The compiler-generated path keeps the
-  /// historical separate blocking schedules (Table 6 measures generated
-  /// code, not the engine).
-  enum class CommShape { kMerged, kMultiple, kEngine };
-  CommShape shape() const {
-    if (cfg_.compiler_generated) return CommShape::kMultiple;
-    if (cfg_.engine_coalesced) return CommShape::kEngine;
-    return cfg_.merged_schedules ? CommShape::kMerged : CommShape::kMultiple;
+  /// True when simulation step `s` begins with a pipeline quiesce: a
+  /// periodic repartition or a non-bonded list rebuild. The single source
+  /// of the cadence — both the per-step dispatch and the graph's
+  /// next-iteration arm prediction derive from it.
+  bool quiesces_at(int s) const {
+    if (s <= 0) return false;
+    return (cfg_.repartition_every > 0 && s % cfg_.repartition_every == 0) ||
+           (s % cfg_.run.nb_rebuild_every == 0);
   }
 
-  void executor_step() {
+  /// Effective executor shape. The compiler-generated path keeps the
+  /// historical separate blocking schedules (Table 6 measures generated
+  /// code, not the engine or the graph).
+  CharmmShape shape() const {
+    if (cfg_.compiler_generated) return CharmmShape::kMultiple;
+    return cfg_.shape;
+  }
+
+  bool use_graph() const {
+    return shape() == CharmmShape::kStepGraph ||
+           shape() == CharmmShape::kStepGraphEager;
+  }
+
+  /// Declare the force cycle as a step graph: each step states its array
+  /// accesses and the runtime pipelines communication across the steps.
+  /// The bonded step owns its accumulator (`force_bond_`), so the two
+  /// force steps touch disjoint arrays: the non-bonded gather of `pos_`
+  /// posts at iteration start, and the bonded scatter-add of `force_bond_`
+  /// stays in flight across the whole non-bonded compute — both overlaps
+  /// the dependence analysis derives, while the integrate step's declared
+  /// reads force both scatters to deliver first.
+  void declare_graph() {
+    graph_ = std::make_unique<StepGraph>(rt_);
+    graph_->set_pipelining(shape() == CharmmShape::kStepGraph);
+    graph_->step("bonded")
+        .reads(pos_, h_bond_)
+        .compute([this] {
+          std::fill(force_bond_.begin(), force_bond_.end(), part::Vec3{});
+          bonded_into(force_bond_);
+        })
+        .writes_add(force_bond_, h_bond_);
+    graph_->step("nonbonded")
+        .reads(pos_, h_nb_)
+        .compute([this] {
+          std::fill(force_.begin(), force_.end(), part::Vec3{});
+          nonbonded_into(force_);
+        })
+        .writes_add(force_, h_nb_);
+    graph_->step("integrate")
+        .uses(force_)
+        .uses(force_bond_)
+        .updates(pos_)
+        .updates(vel_)
+        .compute([this] { integrate_graph(); });
+  }
+
+  /// Bonded force loop (Figure 10 shape, localized indices), accumulating
+  /// into `acc`.
+  void bonded_into(std::vector<part::Vec3>& acc) {
+    const double box = cfg_.system.box;
+    for (std::size_t b = 0; b + 1 < bond_refs_.size(); b += 2) {
+      const GlobalIndex li = bond_refs_[b];
+      const GlobalIndex lj = bond_refs_[b + 1];
+      const part::Vec3 f =
+          bond_force(pos_[static_cast<size_t>(li)],
+                     pos_[static_cast<size_t>(lj)], box);
+      acc[static_cast<size_t>(li)] = acc[static_cast<size_t>(li)] + f;
+      acc[static_cast<size_t>(lj)] = acc[static_cast<size_t>(lj)] - f;
+    }
+    comm_.charge_work(static_cast<double>(my_bonds_.size()) * kWorkPerBond);
+  }
+
+  /// Non-bonded loop: outer iteration r is the owned atom at offset r.
+  void nonbonded_into(std::vector<part::Vec3>& acc) {
+    const double box = cfg_.system.box;
+    for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r) {
+      for (GlobalIndex at = nb_.inblo[r]; at < nb_.inblo[r + 1]; ++at) {
+        const GlobalIndex lj = jnb_local_[static_cast<size_t>(at)];
+        const part::Vec3 f =
+            nonbonded_force(pos_[r], pos_[static_cast<size_t>(lj)],
+                            cfg_.system.cutoff, box);
+        acc[r] = acc[r] + f;
+        acc[static_cast<size_t>(lj)] = acc[static_cast<size_t>(lj)] - f;
+      }
+    }
+    comm_.charge_work(static_cast<double>(nb_.pairs()) * kWorkPerNonbonded);
+  }
+
+  /// Integrate owned atoms; `force_at(r)` supplies the per-atom force.
+  template <typename ForceAt>
+  void integrate_atoms(ForceAt&& force_at) {
+    const double box = cfg_.system.box;
+    const double dt = cfg_.run.dt;
+    for (std::size_t r = 0; r < my_globals_.size(); ++r) {
+      vel_[r] = vel_[r] + force_at(r) * dt;
+      pos_[r] = pos_[r] + vel_[r] * dt;
+      for (int a = 0; a < 3; ++a) {
+        while (pos_[r][a] >= box) pos_[r][a] -= box;
+        while (pos_[r][a] < 0) pos_[r][a] += box;
+      }
+    }
+    comm_.charge_work(static_cast<double>(my_globals_.size()) *
+                      kWorkPerIntegrate);
+  }
+
+  void compute_integrate() {
+    integrate_atoms([&](std::size_t r) { return force_[r]; });
+  }
+
+  /// Graph-shape integration: total force is the sum of the two steps'
+  /// accumulators (the split is what lets their scatters pipeline).
+  void integrate_graph() {
+    integrate_atoms(
+        [&](std::size_t r) { return force_[r] + force_bond_[r]; });
+  }
+
+  void executor_step(bool arm_next) {
+    if (use_graph()) {
+      // One declared-graph iteration; the graph posts/waits communication
+      // per its own dependence analysis.
+      timed(&CharmmPhaseTimes::executor, [&] { graph_->advance(arm_next); });
+      return;
+    }
     timed(&CharmmPhaseTimes::executor, [&] {
       const double t0 = comm_.now();
       if (cfg_.compiler_generated) {
@@ -380,14 +556,14 @@ class Driver {
       std::span<part::Point3> pos{pos_.data(), pos_.size()};
       std::span<part::Vec3> force{force_.data(), force_.size()};
       switch (shape()) {
-        case CommShape::kMerged:
+        case CharmmShape::kMerged:
           rt_.gather<part::Point3>(h_all_, pos);
           break;
-        case CommShape::kMultiple:
+        case CharmmShape::kMultiple:
           rt_.gather<part::Point3>(h_bond_, pos);
           rt_.gather<part::Point3>(h_nb_, pos);
           break;
-        case CommShape::kEngine:
+        case CharmmShape::kEngine:
           // Independent force-phase gathers posted into one batch: one
           // coalesced message per peer carries both loops' ghost traffic.
           rt_.gather_async<part::Point3>(h_bond_, pos);
@@ -395,75 +571,48 @@ class Driver {
           rt_.comm_flush();
           rt_.comm_wait_all();
           break;
+        case CharmmShape::kStepGraph:
+        case CharmmShape::kStepGraphEager:
+          CHAOS_ASSERT(false);  // handled above
+          break;
       }
 
       std::fill(force_.begin(), force_.end(), part::Vec3{});
-
-      // Bonded loop (Figure 10 shape, localized indices).
-      const double box = cfg_.system.box;
-      for (std::size_t b = 0; b + 1 < bond_refs_.size(); b += 2) {
-        const GlobalIndex li = bond_refs_[b];
-        const GlobalIndex lj = bond_refs_[b + 1];
-        const part::Vec3 f =
-            bond_force(pos_[static_cast<size_t>(li)],
-                       pos_[static_cast<size_t>(lj)], box);
-        force_[static_cast<size_t>(li)] =
-            force_[static_cast<size_t>(li)] + f;
-        force_[static_cast<size_t>(lj)] =
-            force_[static_cast<size_t>(lj)] - f;
-      }
-      comm_.charge_work(static_cast<double>(my_bonds_.size()) * kWorkPerBond);
-
-      // Non-bonded loop: outer iteration r is the owned atom at offset r.
-      for (std::size_t r = 0; r + 1 < nb_.inblo.size(); ++r) {
-        for (GlobalIndex at = nb_.inblo[r]; at < nb_.inblo[r + 1]; ++at) {
-          const GlobalIndex lj = jnb_local_[static_cast<size_t>(at)];
-          const part::Vec3 f =
-              nonbonded_force(pos_[r], pos_[static_cast<size_t>(lj)],
-                              cfg_.system.cutoff, box);
-          force_[r] = force_[r] + f;
-          force_[static_cast<size_t>(lj)] =
-              force_[static_cast<size_t>(lj)] - f;
-        }
-      }
-      comm_.charge_work(static_cast<double>(nb_.pairs()) * kWorkPerNonbonded);
+      bonded_into(force_);
+      nonbonded_into(force_);
 
       switch (shape()) {
-        case CommShape::kMerged:
+        case CharmmShape::kMerged:
           rt_.scatter_add<part::Vec3>(h_all_, force);
           break;
-        case CommShape::kMultiple:
+        case CharmmShape::kMultiple:
           rt_.scatter_add<part::Vec3>(h_bond_, force);
           rt_.scatter_add<part::Vec3>(h_nb_excl_, force);
           break;
-        case CommShape::kEngine:
+        case CharmmShape::kEngine:
           rt_.scatter_add_async<part::Vec3>(h_bond_, force);
           rt_.scatter_add_async<part::Vec3>(h_nb_excl_, force);
           rt_.comm_flush();
           rt_.comm_wait_all();
           break;
+        case CharmmShape::kStepGraph:
+        case CharmmShape::kStepGraphEager:
+          break;
       }
 
-      // Integrate owned atoms.
-      const double dt = cfg_.run.dt;
-      for (std::size_t r = 0; r < my_globals_.size(); ++r) {
-        vel_[r] = vel_[r] + force_[r] * dt;
-        pos_[r] = pos_[r] + vel_[r] * dt;
-        for (int a = 0; a < 3; ++a) {
-          while (pos_[r][a] >= box) pos_[r][a] -= box;
-          while (pos_[r][a] < 0) pos_[r][a] += box;
-        }
-      }
-      comm_.charge_work(static_cast<double>(my_globals_.size()) *
-                        kWorkPerIntegrate);
+      compute_integrate();
       charge_overhead(comm_.now() - t0, kCompilerExecutorOverhead);
     });
   }
 
   void collect_state() {
     std::vector<StateRecord> mine(my_globals_.size());
-    for (std::size_t i = 0; i < my_globals_.size(); ++i)
-      mine[i] = StateRecord{my_globals_[i], pos_[i], force_[i]};
+    for (std::size_t i = 0; i < my_globals_.size(); ++i) {
+      part::Vec3 f = force_[i];
+      // Graph shapes split the accumulator per force step.
+      if (graph_) f = f + force_bond_[i];
+      mine[i] = StateRecord{my_globals_[i], pos_[i], f};
+    }
     std::vector<StateRecord> all = comm_.allgatherv<StateRecord>(mine);
     if (comm_.rank() == 0) {
       shared_.pos.resize(static_cast<size_t>(n_));
@@ -481,6 +630,7 @@ class Driver {
   ParallelCharmmResult& shared_;
 
   Runtime rt_;
+  std::unique_ptr<StepGraph> graph_;  // kStepGraph / kStepGraphEager shapes
   MolecularSystem sys_;
   GlobalIndex n_;
   DistHandle dist_;
@@ -488,6 +638,7 @@ class Driver {
   std::vector<part::Point3> pos_;  // owned + ghost
   std::vector<part::Vec3> vel_;    // owned only
   std::vector<part::Vec3> force_;  // owned + ghost
+  std::vector<part::Vec3> force_bond_;  // graph shapes: bonded accumulator
   std::vector<std::pair<GlobalIndex, GlobalIndex>> my_bonds_;
 
   NonbondedList nb_;  // rows = my_globals_

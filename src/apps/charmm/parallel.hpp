@@ -6,6 +6,10 @@
 // (paper §5.3.1, Table 6).
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "apps/charmm/sequential.hpp"
 #include "apps/charmm/system.hpp"
 #include "core/parallel_partition.hpp"
@@ -13,22 +17,34 @@
 
 namespace chaos::charmm {
 
+/// Executor communication shape (Table 3, plus the step-graph redesign).
+enum class CharmmShape {
+  /// Declarative chaos::StepGraph over the bonded / non-bonded / integrate
+  /// cycle, communication pipelined across steps from the declared array
+  /// accesses (the primary driver).
+  kStepGraph,
+  /// The same step graph executed eagerly — post/flush/wait at every step.
+  /// The bitwise reference arm for kStepGraph.
+  kStepGraphEager,
+  /// One merged gather/scatter schedule for both force loops (Table 3 a).
+  kMerged,
+  /// Separate blocking schedules per loop (Table 3 b): duplicated fetches
+  /// of shared off-processor atoms, one message per peer per loop.
+  kMultiple,
+  /// Separate schedules posted through the comm engine in one batch, so
+  /// each flush sends at most one message per peer (Table 3 c) — run-time
+  /// message merging without rebuilding schedules.
+  kEngine,
+};
+
 struct ParallelCharmmConfig {
   SystemParams system;
   SequentialRunConfig run;  ///< steps / rebuild period / dt
   core::PartitionerKind partitioner = core::PartitionerKind::kRcb;
 
-  /// Table 3 toggle: one merged gather/scatter schedule for the bonded and
-  /// non-bonded loops vs separate per-loop schedules.
-  bool merged_schedules = true;
-
-  /// Engine-coalesced posting: keep the per-loop schedules separate (no
-  /// compile-time merge) but post both loops' gathers/scatters through the
-  /// comm engine in one batch, so each flush sends at most one message per
-  /// peer. Takes precedence over merged_schedules. The run-time counterpart
-  /// of schedule merging — shared off-processor atoms are still fetched
-  /// once per schedule, but the per-message overheads collapse.
-  bool engine_coalesced = false;
+  /// Executor shape. compiler_generated overrides this to kMultiple
+  /// (Table 6 measures generated code, not the engine or the graph).
+  CharmmShape shape = CharmmShape::kStepGraph;
 
   /// Table 6 mode: re-partition + remap every k steps (0 = partition once),
   /// alternating RCB and RIB as the paper does.
@@ -82,6 +98,26 @@ struct ParallelCharmmResult {
   std::uint64_t reused_homes = 0;
   std::uint64_t patched_schedules = 0;
   std::uint64_t rebuilt_schedules = 0;
+
+  /// Step-graph pipelining accounting (kStepGraph/kStepGraphEager only;
+  /// arming decisions are SPMD-static, so these are identical on every
+  /// rank): gather batches posted while an earlier step's scatters were
+  /// still in flight, gather batches hoisted ahead of their step, and
+  /// forced waits the hazard analysis inserted.
+  std::uint64_t steps_overlapped = 0;
+  std::uint64_t pipelined_gathers = 0;
+  std::uint64_t hazard_stalls = 0;
+
+  /// Per-step wire traffic, summed over ranks (comm::Engine per-batch
+  /// snapshots), attributing messages/bytes to individual steps.
+  struct StepTraffic {
+    std::string name;
+    std::uint64_t gather_msgs = 0;
+    std::uint64_t gather_bytes = 0;
+    std::uint64_t write_msgs = 0;
+    std::uint64_t write_bytes = 0;
+  };
+  std::vector<StepTraffic> step_traffic;
 
   /// Global state in global-id order (only when collect_state).
   std::vector<part::Point3> pos;

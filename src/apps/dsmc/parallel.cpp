@@ -1,9 +1,11 @@
 #include "apps/dsmc/parallel.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
 
 namespace chaos::dsmc {
 
@@ -29,12 +31,24 @@ class Driver {
 
   void run() {
     initialize();
+    if (use_graph()) declare_graph();
     for (int step = 0; step < cfg_.steps; ++step) {
-      collide_phase(step);
-      move_phase();
-      if (cfg_.remap_every > 0 && step > 0 && step % cfg_.remap_every == 0)
-        remap_phase();
+      cur_step_ = step;
+      const bool remap_due =
+          cfg_.remap_every > 0 && step > 0 && step % cfg_.remap_every == 0;
+      if (use_graph()) {
+        // One collide/move iteration of the declared graph; the previous
+        // step's migration completes at collide's derived `mine_` hazard.
+        // Skip the trailing hoist when a remap (which quiesces) or the end
+        // of the run follows.
+        graph_->advance(!remap_due && step + 1 < cfg_.steps);
+      } else {
+        collide_phase(step);
+        move_phase();
+      }
+      if (remap_due) remap_phase();
     }
+    if (graph_) graph_->quiesce();
     const long long local = collisions_;
     const long long total = comm_.allreduce_sum(local);
     phase_out_[static_cast<size_t>(comm_.rank())] = t_;
@@ -123,66 +137,114 @@ class Driver {
     }
   }
 
-  void collide_phase(int step) {
-    timed(&DsmcPhaseTimes::collide, [&] {
-      const double t0 = comm_.now();
-      buckets_.assign(my_cells_.size(), {});
-      for (Particle& q : mine_) {
-        const GlobalIndex c = cell_of(p_, q);
-        const std::int32_t slot = cell_slot_[static_cast<size_t>(c)];
-        CHAOS_ASSERT(slot >= 0, "particle resident on the wrong rank");
-        buckets_[static_cast<size_t>(slot)].push_back(&q);
-      }
-      comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerSort *
-                        p_.work_scale);
+  bool use_graph() const {
+    return cfg_.executor != DsmcExecutor::kImperative &&
+           cfg_.migration == MigrationMode::kLightweight &&
+           !cfg_.compiler_generated;
+  }
 
-      for (std::size_t s = 0; s < my_cells_.size(); ++s) {
-        auto& bucket = buckets_[s];
-        std::sort(bucket.begin(), bucket.end(),
-                  [](const Particle* a, const Particle* b) {
-                    return a->id < b->id;
-                  });
-        const int done = collide_cell(p_, my_cells_[s], step, bucket);
-        collisions_ += done;
-        comm_.charge_work((kWorkPerCellVisit +
-                           static_cast<double>(done) * kWorkPerCollision) *
-                          p_.work_scale);
-      }
-      if (cfg_.compiler_generated)
-        comm_.charge_compute_seconds((comm_.now() - t0) *
-                                     kCompilerForallOverhead);
+  /// Declare the collide/move cycle as a step graph. The move step's
+  /// migration is a declared access on `mine_`/`arrived_`; the runtime
+  /// derives that the next collide (uses mine_) depends on it and defers
+  /// the wait to that point, and the finalizer swaps the arrival buffer in
+  /// when the motion completes.
+  void declare_graph() {
+    graph_ = std::make_unique<StepGraph>(rt_);
+    graph_->set_pipelining(cfg_.executor == DsmcExecutor::kStepGraph);
+    graph_->step("collide").uses(mine_).compute([this] {
+      timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
     });
+    graph_->step("move")
+        .updates(mine_)
+        .updates(dest_procs_)
+        .compute([this] {
+          timed(&DsmcPhaseTimes::reduce_append, [&] { move_compute(); });
+        })
+        .migrates(mine_, dest_procs_, arrived_)
+        .then([this] {
+          mine_ = std::move(arrived_);
+          arrived_ = std::vector<Particle>{};
+        });
+  }
+
+  void collide_phase(int step) {
+    cur_step_ = step;
+    timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
+  }
+
+  void collide_compute() {
+    const double t0 = comm_.now();
+    buckets_.assign(my_cells_.size(), {});
+    for (Particle& q : mine_) {
+      const GlobalIndex c = cell_of(p_, q);
+      const std::int32_t slot = cell_slot_[static_cast<size_t>(c)];
+      CHAOS_ASSERT(slot >= 0, "particle resident on the wrong rank");
+      buckets_[static_cast<size_t>(slot)].push_back(&q);
+    }
+    comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerSort *
+                      p_.work_scale);
+
+    for (std::size_t s = 0; s < my_cells_.size(); ++s) {
+      auto& bucket = buckets_[s];
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Particle* a, const Particle* b) {
+                  return a->id < b->id;
+                });
+      const int done = collide_cell(p_, my_cells_[s], cur_step_, bucket);
+      collisions_ += done;
+      comm_.charge_work((kWorkPerCellVisit +
+                         static_cast<double>(done) * kWorkPerCollision) *
+                        p_.work_scale);
+    }
+    if (cfg_.compiler_generated)
+      comm_.charge_compute_seconds((comm_.now() - t0) *
+                                   kCompilerForallOverhead);
+  }
+
+  /// Step-graph move compute: advance particles, derive per-item
+  /// destination ranks from the replicated cell map (the light-weight
+  /// path's translation-free lookup), and reset the arrival buffer the
+  /// declared migration appends into.
+  void move_compute() {
+    for (Particle& q : mine_) advance(p_, q, p_.dt);
+    comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerMove *
+                      p_.work_scale);
+    dest_procs_.resize(mine_.size());
+    for (std::size_t i = 0; i < mine_.size(); ++i)
+      dest_procs_[i] =
+          cell_map_[static_cast<size_t>(cell_of(p_, mine_[i]))];
+    comm_.charge_work(static_cast<double>(mine_.size()) * 0.5);
+    arrived_.clear();
+    arrived_.reserve(mine_.size());
   }
 
   void move_phase() {
     std::vector<GlobalIndex> dest_cells;
     timed(&DsmcPhaseTimes::reduce_append, [&] {
+      if (cfg_.migration == MigrationMode::kLightweight &&
+          !cfg_.compiler_generated) {
+        // Hand-sequenced arm of the same move the step graph declares:
+        // the shared compute (destinations straight from the replicated
+        // cell map, no translation, no placement lists), then a blocking
+        // migrate where the graph posts asynchronously.
+        move_compute();
+        rt_.migrate<Particle>(dest_procs_, mine_, arrived_);
+        mine_ = std::move(arrived_);
+        arrived_ = std::vector<Particle>{};
+        return;
+      }
+
       for (Particle& q : mine_) advance(p_, q, p_.dt);
       comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerMove *
                         p_.work_scale);
-
       dest_cells.resize(mine_.size());
       for (std::size_t i = 0; i < mine_.size(); ++i)
         dest_cells[i] = cell_of(p_, mine_[i]);
-
       if (cfg_.compiler_generated) {
         move_compiler(dest_cells);
         return;
       }
-      if (cfg_.migration == MigrationMode::kRegular) {
-        move_regular(dest_cells);
-        return;
-      }
-      // Hand-written light-weight path: destinations come straight from the
-      // replicated cell map, no translation, no placement lists.
-      std::vector<int> dest(mine_.size());
-      for (std::size_t i = 0; i < mine_.size(); ++i)
-        dest[i] = cell_map_[static_cast<size_t>(dest_cells[i])];
-      comm_.charge_work(static_cast<double>(mine_.size()) * 0.5);
-      std::vector<Particle> arrived;
-      arrived.reserve(mine_.size());
-      rt_.migrate<Particle>(dest, mine_, arrived);
-      mine_ = std::move(arrived);
+      move_regular(dest_cells);
     });
 
     // The compiler-generated size-recovery loop runs after the append and
@@ -249,6 +311,10 @@ class Driver {
   }
 
   void remap_phase() {
+    // A remap lands mid-pipeline: the previous move's migration may still
+    // be in flight. Quiesce first (this also runs the arrival-swap
+    // finalizer, so `mine_` is current before the weights are computed).
+    if (graph_) graph_->quiesce();
     timed(&DsmcPhaseTimes::remap, [&] {
       // Per-cell loads are known at each cell's owner.
       std::vector<double> weights(my_cells_.size(), 0.0);
@@ -318,6 +384,10 @@ class Driver {
   ParallelDsmcResult& shared_;
 
   Runtime rt_;
+  std::unique_ptr<StepGraph> graph_;     // step-graph executor modes
+  int cur_step_ = 0;                     // current simulation step (RNG seed)
+  std::vector<int> dest_procs_;          // move step: per-item destinations
+  std::vector<Particle> arrived_;        // move step: migration arrivals
   std::vector<int> cell_map_;            // replicated cell -> proc
   std::vector<GlobalIndex> my_cells_;    // owned cells, ascending
   std::vector<std::int32_t> cell_slot_;  // cell -> local slot or -1

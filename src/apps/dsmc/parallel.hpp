@@ -17,10 +17,28 @@ enum class MigrationMode {
   kRegular,      ///< full inspector + permutation placement every step
 };
 
+/// How the per-step collide/move cycle is driven.
+enum class DsmcExecutor {
+  /// Declarative chaos::StepGraph (primary): the move step declares
+  /// migrates(mine, dest, arrived) and the runtime defers the migration
+  /// wait to the next collide's derived dependence on `mine`.
+  kStepGraph,
+  /// The same graph, eager post/flush/wait — the bitwise reference arm.
+  kStepGraphEager,
+  /// Hand-sequenced imperative cycle (the pre-graph fallback shape).
+  kImperative,
+};
+
 struct ParallelDsmcConfig {
   DsmcParams params;
   int steps = 50;
   MigrationMode migration = MigrationMode::kLightweight;
+
+  /// Executor drive. Only the light-weight, non-compiler cycle runs on the
+  /// step graph; the regular-schedule and compiler-generated modes keep
+  /// the imperative path (their per-step inspector/placement choreography
+  /// is the thing being measured).
+  DsmcExecutor executor = DsmcExecutor::kStepGraph;
 
   /// 0 = static partition (cells partitioned once at start, never remapped).
   int remap_every = 0;
@@ -34,6 +52,12 @@ struct ParallelDsmcConfig {
   bool collect_state = false;
 };
 
+/// Per-phase virtual times. Under the step-graph executor the migration
+/// post/wait runs inside StepGraph::advance, outside these buckets:
+/// `reduce_append` then covers only the local move compute and the
+/// deferred transport lands in no bucket (aggregate machine metrics are
+/// unaffected). Benches that compare per-phase rows across migration or
+/// compiler modes pin DsmcExecutor::kImperative for identical accounting.
 struct DsmcPhaseTimes {
   double collide = 0;        ///< collision + rebucket/sort
   double reduce_append = 0;  ///< MOVE-phase migration (schedule + transport)

@@ -34,6 +34,8 @@ void Engine::flush() {
     comm_.send<std::byte>(peer, b.tag, bytes);
     ++traffic_.messages;
     traffic_.bytes += bytes.size();
+    ++b.sent_traffic.messages;
+    b.sent_traffic.bytes += bytes.size();
     // Only messages that actually packed several operations' segments
     // count as coalesced: single-segment engine sends are indistinguishable
     // on the wire from blocking sends, and counting them would dilute the

@@ -170,6 +170,22 @@ class Engine {
   };
   const Traffic& traffic() const { return traffic_; }
 
+  /// Zero the cumulative counter (per-batch snapshots are unaffected) so a
+  /// bench can attribute subsequent traffic to one phase without keeping a
+  /// baseline copy around.
+  void reset_traffic() { traffic_ = Traffic{}; }
+
+  /// Wire traffic of the batch `h` was posted into, recorded at its flush
+  /// (zeros while the batch is still open). Lets benches attribute
+  /// messages/bytes to individual steps instead of whole runs. Same handle
+  /// validity rules as done()/test().
+  Traffic batch_traffic(CommHandle h) const {
+    CHAOS_CHECK(h.id < ops_.size(), "invalid comm handle");
+    const std::uint32_t b = ops_[h.id].batch;
+    if (b == kNone) return Traffic{};
+    return batches_[b].sent_traffic;
+  }
+
   /// Operations posted and not yet complete (including an open batch).
   std::size_t in_flight() const {
     std::size_t n = 0;
@@ -205,6 +221,7 @@ class Engine {
   struct Batch {
     int tag = 0;
     bool sent = false;
+    Traffic sent_traffic;  ///< this batch's share of traffic_, set at flush
     std::vector<PeerIncoming> incoming;  ///< ascending peer
     std::size_t next = 0;                ///< receive progress
     // Outgoing coalescer, dropped at flush.

@@ -1,0 +1,44 @@
+// Array-access descriptors for the declarative step-graph executor.
+//
+// A step declares *what* it touches — which distributed array, through
+// which communication pattern — instead of choreographing post/flush/wait
+// by hand. The runtime derives RAW/WAR/WAW hazards between steps from
+// these declarations and pipelines the communication of independent steps
+// (runtime/step_graph.hpp). The vocabulary lives here in lang/ because it
+// is part of the language surface: the same declarations a compiler would
+// emit from FORALL access analysis (paper §5.2) and that Rolinger et al.
+// style access declarations expose for irregular PGAS loops.
+#pragma once
+
+#include <cstdint>
+
+namespace chaos::lang {
+
+/// How one step touches one array.
+enum class AccessKind : std::uint8_t {
+  kGather,      ///< reads(a, via): fetch off-processor ghosts before compute
+  kScatter,     ///< writes(a, via): push ghost writes to owners after compute
+  kScatterAdd,  ///< writes_add(a, via): combine ghost contributions at owners
+  kMigrate,     ///< migrates(items, dest, out): light-weight item motion
+  kLocalRead,   ///< uses(a): the compute callback reads `a`, no communication
+  kLocalWrite,  ///< updates(a): the compute callback writes `a`, no comm
+};
+// Note: the current hazard analysis is conservative and treats both local
+// kinds alike (a hoisted gather's early ghost delivery is observable to
+// readers as well as writers) — declare the weaker uses() when the
+// compute only reads; the distinction stays available for a finer future
+// analysis.
+
+/// One declared access. Arrays are identified by the address of their
+/// container (std::vector / DistributedArray), which is stable across
+/// resizes — the data span itself is re-read at post time. `array2` is the
+/// arrival container of a migrate (both ends of the motion are written).
+struct AccessDecl {
+  AccessKind kind = AccessKind::kLocalRead;
+  const void* array = nullptr;
+  const void* array2 = nullptr;
+
+  bool touches(const void* a) const { return array == a || array2 == a; }
+};
+
+}  // namespace chaos::lang

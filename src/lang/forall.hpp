@@ -3,9 +3,11 @@
 // paper compiles.
 //
 // Pattern 1 — REDUCE(SUM, x(ind(j)), expr):   forall_reduce_sum
-//   Lowering: inspector (cached via InspectorCache) -> gather read-array
-//   ghosts -> run the loop body against local indices -> scatter_add the
-//   reduction array's ghost contributions back to their owners.
+//   Lowering: inspector (cached in a runtime::ScheduleRegistry, the
+//   unified schedule registry that subsumed the old lang::InspectorCache
+//   shim) -> gather read-array ghosts -> run the loop body against local
+//   indices -> scatter_add the reduction array's ghost contributions back
+//   to their owners.
 //
 // Pattern 2 — REDUCE(APPEND, rows(ind(j)), item):   reduce_append
 //   Lowering: the append target is placement-order independent, so the
@@ -24,7 +26,7 @@
 #include "core/lightweight.hpp"
 #include "core/transport.hpp"
 #include "lang/distributed_array.hpp"
-#include "lang/inspector_cache.hpp"
+#include "runtime/schedule_registry.hpp"
 
 namespace chaos::lang {
 
@@ -33,12 +35,14 @@ namespace chaos::lang {
 /// array and must add its contributions into `acc` (and may read gathered
 /// ghost values from `data`). `data` is gathered before the body runs;
 /// `acc`'s ghost contributions are scattered back and summed after.
+/// `registry` caches the inspector product across calls (one registry per
+/// distribution epoch, exactly as chaos::Runtime keeps them).
 template <typename TData, typename TAcc, typename Body>
-void forall_reduce_sum(sim::Comm& comm, InspectorCache& cache,
+void forall_reduce_sum(sim::Comm& comm, runtime::ScheduleRegistry& registry,
                        const Distribution& dist, const IndirectionArray& ind,
                        DistributedArray<TData>& data,
                        DistributedArray<TAcc>& acc, Body&& body) {
-  const LoopPlan& plan = cache.plan(comm, dist, ind);
+  const LoopPlan& plan = registry.plan(comm, dist, ind);
   data.ensure_extent(plan.local_extent);
   acc.ensure_extent(plan.local_extent);
 

@@ -86,6 +86,7 @@ struct ScheduleHandle {
 enum class IterationPolicy { kOwnerComputes, kAlmostOwnerComputes };
 
 class LoopBuilder;
+class StepGraph;
 
 class Runtime {
  public:
@@ -440,6 +441,17 @@ class Runtime {
 
   /// Fluent executor for one irregular loop over `dist`.
   LoopBuilder loop(DistHandle dist);
+
+  // ---- the declarative step-graph executor ---------------------------
+  //
+  // The preferred executor surface: declare each step's array accesses on
+  // a chaos::StepGraph (runtime/step_graph.hpp) and let the runtime derive
+  // hazards and pipeline communication across steps. The async primitives
+  // above remain the low-level escape hatch.
+
+  /// Run `iterations` advances of a declared step graph, then quiesce it
+  /// (complete all in-flight pipelined communication).
+  void run(StepGraph& graph, int iterations = 1);
 
  private:
   friend class LoopBuilder;

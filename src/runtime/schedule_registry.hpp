@@ -7,9 +7,9 @@
 // derived merged / incremental schedules the paper builds from stamp
 // expressions (§3.2.2, Figure 6).
 //
-// The registry subsumes the old lang::InspectorCache: that class is now a
-// thin compatibility wrapper over a ScheduleRegistry. Runtime owns one
-// registry per live distribution.
+// The registry subsumed (and as of the step-graph PR fully replaced) the
+// old lang::InspectorCache compatibility shim. Runtime owns one registry
+// per live distribution; the FORALL lowerings take one directly.
 #pragma once
 
 #include <map>

@@ -1,0 +1,262 @@
+#include "runtime/step_graph.hpp"
+
+#include <algorithm>
+
+namespace chaos {
+
+namespace {
+
+bool touches_any(const lang::AccessDecl& d,
+                 std::span<const void* const> arrays) {
+  for (const void* a : arrays)
+    if (d.touches(a)) return true;
+  return false;
+}
+
+void add_traffic(comm::Engine::Traffic& acc,
+                 const comm::Engine::Traffic& t) {
+  acc.messages += t.messages;
+  acc.bytes += t.bytes;
+}
+
+}  // namespace
+
+Step& StepGraph::step(std::string name) {
+  steps_.emplace_back(Step::Key{}, std::move(name), steps_.size());
+  return steps_.back();
+}
+
+Step* StepGraph::find(std::string_view name) {
+  for (Step& s : steps_)
+    if (s.name_ == name) return &s;
+  return nullptr;
+}
+
+std::vector<const void*> StepGraph::gather_touch(const Step& s) const {
+  std::vector<const void*> arrays;
+  for (const Step::CommAccess& g : s.gathers_) arrays.push_back(g.decl.array);
+  return arrays;
+}
+
+std::vector<const void*> StepGraph::compute_touch(const Step& s) const {
+  // Everything the step's compute (or its write packing) can observe: the
+  // gathered arrays it reads, the declared local effects, and the arrays
+  // its own write accesses will pack from.
+  std::vector<const void*> arrays;
+  for (const Step::CommAccess& g : s.gathers_) arrays.push_back(g.decl.array);
+  for (const lang::AccessDecl& d : s.locals_) arrays.push_back(d.array);
+  for (const Step::CommAccess& w : s.writes_) {
+    arrays.push_back(w.decl.array);
+    if (w.decl.array2) arrays.push_back(w.decl.array2);
+  }
+  return arrays;
+}
+
+bool StepGraph::step_blocks_hoist(const Step& s,
+                                  std::span<const void* const> arrays) const {
+  // A gather may not be hoisted across a step that touches its array in
+  // any way EXCEPT through that step's own gather of the same array (two
+  // gathers deliver identical owned values, the engine-coalescing case).
+  // Writers are the obvious hazard; plain readers (uses/updates, or the
+  // ghost region a scatter packs) matter too — the hoisted gather's early
+  // FIFO delivery would hand them ghost values one write fresher than the
+  // eager schedule does.
+  for (const lang::AccessDecl& d : s.locals_)
+    if (touches_any(d, arrays)) return true;
+  for (const Step::CommAccess& w : s.writes_)
+    if (touches_any(w.decl, arrays)) return true;
+  return false;
+}
+
+bool StepGraph::pending_write_touching(
+    std::span<const void* const> arrays) const {
+  for (std::size_t idx : posted_write_order_) {
+    const Step& w = steps_[idx];
+    for (const Step::CommAccess& acc : w.writes_)
+      if (touches_any(acc.decl, arrays)) return true;
+  }
+  return false;
+}
+
+void StepGraph::check_bindings() const {
+  for (const Step& s : steps_) {
+    for (const auto* list : {&s.gathers_, &s.writes_}) {
+      for (const Step::CommAccess& a : *list) {
+        if (a.decl.kind == lang::AccessKind::kMigrate) continue;
+        CHAOS_CHECK(rt_.valid(a.via),
+                    "step graph: step '" + s.name_ +
+                        "' declares a schedule that is no longer valid "
+                        "(retired epoch or stale derivation) — call "
+                        "retarget() after a repartition/re-derivation");
+      }
+    }
+  }
+}
+
+void StepGraph::try_arm(std::size_t exec_pos) {
+  const std::size_t n = steps_.size();
+  // Scan each step's next execution in order, wrapping into the next
+  // iteration; stop at the first step whose gathers cannot post yet, so
+  // the batch sequence stays canonical (identical on every rank — every
+  // decision below depends only on the declared graph and the position).
+  for (std::size_t t = exec_pos; t < exec_pos + n; ++t) {
+    const std::size_t idx = t % n;
+    Step& s = steps_[idx];
+    if (s.gathers_.empty()) continue;
+    if (s.gathers_posted_) continue;  // already armed for its next run
+    // A step whose compute runs between here and s's execution must not
+    // touch any array s gathers, other than gathering it itself (the
+    // hoisted gather packs owned values at post and delivers ghosts early;
+    // both directions are observable to intervening writers AND readers).
+    const std::vector<const void*> arrays = gather_touch(s);
+    bool ok = true;
+    for (std::size_t u = exec_pos; u < t && ok; ++u)
+      if (step_blocks_hoist(steps_[u % n], arrays)) ok = false;
+    // An outstanding write batch on a gathered array is a RAW hazard;
+    // defer the arm rather than stall (the forced post at s's own turn
+    // waits it out if it is still pending then).
+    if (ok && pending_write_touching(arrays)) ok = false;
+    if (!ok) break;
+    post_gathers(s, /*early=*/t > exec_pos);
+  }
+}
+
+void StepGraph::post_gathers(Step& s, bool early) {
+  const bool in_flight = !posted_write_order_.empty();
+  for (Step::CommAccess& g : s.gathers_)
+    if (g.prepare) g.prepare(rt_, g.via);
+  s.gather_handles_.clear();
+  for (Step::CommAccess& g : s.gathers_)
+    s.gather_handles_.push_back(g.post(rt_, g.via));
+  rt_.comm_flush();
+  s.gathers_posted_ = true;
+  ++stats_.gather_batches;
+  if (early) ++stats_.pipelined_gathers;
+  if (in_flight) ++stats_.overlapped_posts;
+  if (!s.gather_handles_.empty())
+    add_traffic(s.gather_traffic_,
+                rt_.engine().batch_traffic(s.gather_handles_.front()));
+}
+
+void StepGraph::post_writes(Step& s) {
+  if (s.writes_.empty()) {
+    if (s.finalize_) s.finalize_();
+    return;
+  }
+  // A later step's gather batch already outstanding at this scatter post
+  // is the pipelining the eager executor cannot produce: step k's scatters
+  // and step k+1's gathers concurrently in flight.
+  for (const Step& other : steps_)
+    if (&other != &s && other.gathers_posted_) {
+      ++stats_.overlapped_posts;
+      break;
+    }
+  s.write_handles_.clear();
+  for (Step::CommAccess& w : s.writes_)
+    s.write_handles_.push_back(w.post(rt_, w.via));
+  rt_.comm_flush();
+  s.writes_posted_ = true;
+  posted_write_order_.push_back(s.idx_);
+  ++stats_.write_batches;
+  add_traffic(s.write_traffic_,
+              rt_.engine().batch_traffic(s.write_handles_.front()));
+}
+
+void StepGraph::wait_gathers(Step& s) {
+  if (!s.gathers_posted_) return;
+  for (comm::CommHandle h : s.gather_handles_) rt_.comm_wait(h);
+  s.gather_handles_.clear();
+  s.gathers_posted_ = false;
+}
+
+void StepGraph::wait_writes(Step& s) {
+  if (!s.writes_posted_) return;
+  for (comm::CommHandle h : s.write_handles_) rt_.comm_wait(h);
+  s.write_handles_.clear();
+  s.writes_posted_ = false;
+  auto it = std::find(posted_write_order_.begin(), posted_write_order_.end(),
+                      s.idx_);
+  CHAOS_ASSERT(it != posted_write_order_.end());
+  posted_write_order_.erase(it);
+  if (s.finalize_) s.finalize_();
+}
+
+void StepGraph::wait_conflicting_writes(
+    std::span<const void* const> arrays) {
+  // FIFO post order, so owner-side combines land in the same order the
+  // eager executor produces.
+  for (std::size_t i = 0; i < posted_write_order_.size();) {
+    Step& w = steps_[posted_write_order_[i]];
+    bool conflicts = false;
+    for (const Step::CommAccess& acc : w.writes_)
+      if (touches_any(acc.decl, arrays)) {
+        conflicts = true;
+        break;
+      }
+    if (conflicts) {
+      ++stats_.hazard_stalls;
+      wait_writes(w);  // erases entry i; do not advance
+    } else {
+      ++i;
+    }
+  }
+}
+
+void StepGraph::advance(bool arm_next_iteration) {
+  CHAOS_CHECK(!steps_.empty(), "step graph has no steps");
+  check_bindings();
+  ++stats_.iterations;
+  for (std::size_t k = 0; k < steps_.size(); ++k) {
+    if (pipelining_) try_arm(k);
+    Step& s = steps_[k];
+    if (!s.gathers_.empty() && !s.gathers_posted_) {
+      // The eager position: clear RAW hazards, then post.
+      const std::vector<const void*> arrays = gather_touch(s);
+      wait_conflicting_writes(arrays);
+      post_gathers(s, /*early=*/false);
+    }
+    wait_gathers(s);
+    // WAR/WAW: outstanding write batches on anything the compute or this
+    // step's write packing touches must deliver first.
+    const std::vector<const void*> touch = compute_touch(s);
+    wait_conflicting_writes(touch);
+    for (Step::CommAccess& w : s.writes_)
+      if (w.prepare) w.prepare(rt_, w.via);
+    if (s.compute_) s.compute_();
+    post_writes(s);
+    if (!pipelining_) wait_writes(s);
+  }
+  if (pipelining_ && arm_next_iteration) try_arm(steps_.size());
+}
+
+void StepGraph::quiesce() {
+  // Complete every outstanding batch (write waits run the pending
+  // finalizers) and disarm hoisted gathers: their delivered ghosts carry
+  // current values, and the owning steps simply re-post at their next
+  // execution.
+  for (Step& s : steps_) wait_gathers(s);
+  while (!posted_write_order_.empty())
+    wait_writes(steps_[posted_write_order_.front()]);
+  ++stats_.quiesces;
+}
+
+void StepGraph::retarget(ScheduleHandle from, ScheduleHandle to) {
+  quiesce();
+  for (Step& s : steps_) {
+    for (auto* list : {&s.gathers_, &s.writes_}) {
+      for (Step::CommAccess& a : *list) {
+        if (a.decl.kind == lang::AccessKind::kMigrate) continue;
+        if (a.via == from) a.via = to;
+      }
+    }
+  }
+  ++stats_.retargets;
+}
+
+void Runtime::run(StepGraph& graph, int iterations) {
+  for (int i = 0; i < iterations; ++i)
+    graph.advance(/*arm_next_iteration=*/i + 1 < iterations);
+  graph.quiesce();
+}
+
+}  // namespace chaos

@@ -1,0 +1,339 @@
+// chaos::StepGraph — the declarative step-graph executor.
+//
+// The imperative executor (Runtime Phase F, comm::Engine) makes the caller
+// choreograph communication: gather_async -> comm_flush -> comm_wait around
+// every loop, by hand, in the right order. The step graph turns that into a
+// declaration problem: the program states *what* each step touches —
+//
+//   graph.step("nonbonded")
+//       .reads(pos, h_nb)            // gather pos ghosts before compute
+//       .compute([&] { ... })        // runs against localized references
+//       .writes_add(force, h_nbx);   // scatter-add force ghosts after
+//
+// — and the runtime derives the hazards between steps from the declared
+// (array, access-kind) sets and schedules the communication itself. Each
+// step's gathers and writes form tag-disjoint comm::Engine batches;
+// independent steps' batches overlap in flight, and step k+1's gathers are
+// posted while step k's scatters are still outstanding whenever the
+// dependence analysis proves it safe ("A Tale of Three Runtimes"-style
+// dataflow pipelining over CHAOS schedules).
+//
+// Hazard rules (arrays are identified by container address; whole-array
+// granularity):
+//   RAW  a gather of A must not post while a scatter/migrate touching A is
+//        outstanding or will still be posted by an intervening step — the
+//        gather packs owned values of A at post time.
+//   WAR/WAW  a compute touching A waits every outstanding write batch on A
+//        first (delivery order then equals the eager executor's, keeping
+//        non-associative floating-point combines bitwise identical).
+//   gather/gather on one array is benign (both deliver the same owned
+//        values) and is the engine-coalescing case, not a hazard.
+//
+// Execution model: compute callbacks run strictly in declaration order,
+// advance() after advance() — only communication moves. All pipelining
+// decisions are functions of the declared graph and the program position,
+// never of message arrival, so every rank posts the same batch sequence
+// (the engine's SPMD contract holds by construction) and a pipelined run
+// is bitwise identical to the eager one (set_pipelining(false): plain
+// post -> flush -> wait at every step, the reference arm).
+//
+// Repartition interop: a repartition invalidates the schedules a graph's
+// accesses point at. retarget(old, new) quiesces in-flight pipelining and
+// swaps the schedule handle everywhere it is declared — the steps, their
+// compute callbacks, and their array bindings survive, so a PR-3 seeded
+// successor epoch re-arms without a full re-declaration. advance() checks
+// every binding and raises a chaos::Error naming the step if a handle went
+// stale. Array extents must be stable between quiesces (re-inspection,
+// which changes extents, requires a quiesce anyway).
+//
+// The raw post/flush/wait surface (rt.gather_async & friends) remains the
+// low-level escape hatch for patterns the declaration set cannot express.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "lang/access.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chaos {
+
+class StepGraph;
+
+/// One declared step: communication accesses around one compute callback.
+/// Created by StepGraph::step(); references into it stay valid for the
+/// graph's lifetime.
+class Step {
+ public:
+  /// Passkey: only StepGraph can create Steps (via StepGraph::step), but
+  /// the container still constructs them in place.
+  class Key {
+    Key() = default;
+    friend class StepGraph;
+  };
+  Step(Key, std::string name, std::size_t idx)
+      : name_(std::move(name)), idx_(idx) {}
+  Step(const Step&) = delete;
+  Step& operator=(const Step&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // ---- communication accesses ---------------------------------------
+
+  /// Gather `data`'s off-processor ghosts through `via` before the
+  /// compute. The container must be sized to the schedule's extent.
+  template <typename T>
+  Step& reads(std::vector<T>& data, ScheduleHandle via) {
+    CommAccess a;
+    a.decl = {lang::AccessKind::kGather, &data, nullptr};
+    a.via = via;
+    a.post = [&data](Runtime& rt, ScheduleHandle h) {
+      return rt.gather_async<T>(h, std::span<T>{data.data(), data.size()});
+    };
+    gathers_.push_back(std::move(a));
+    return *this;
+  }
+
+  template <typename T>
+  Step& reads(lang::DistributedArray<T>& a, ScheduleHandle via) {
+    CommAccess acc;
+    acc.decl = {lang::AccessKind::kGather, &a, nullptr};
+    acc.via = via;
+    acc.prepare = [&a](Runtime& rt, ScheduleHandle h) {
+      a.ensure_extent(rt.extent(h));
+    };
+    acc.post = [&a](Runtime& rt, ScheduleHandle h) {
+      return rt.gather_async<T>(h, a.local());
+    };
+    gathers_.push_back(std::move(acc));
+    return *this;
+  }
+
+  /// Push ghost writes of `data` back to their owners after the compute
+  /// (replacement semantics).
+  template <typename T>
+  Step& writes(std::vector<T>& data, ScheduleHandle via) {
+    CommAccess a;
+    a.decl = {lang::AccessKind::kScatter, &data, nullptr};
+    a.via = via;
+    a.post = [&data](Runtime& rt, ScheduleHandle h) {
+      return rt.scatter_async<T>(h, std::span<T>{data.data(), data.size()});
+    };
+    writes_.push_back(std::move(a));
+    return *this;
+  }
+
+  /// Combine ghost contributions of `data` into their owners after the
+  /// compute (scatter-add).
+  template <typename T>
+  Step& writes_add(std::vector<T>& data, ScheduleHandle via) {
+    CommAccess a;
+    a.decl = {lang::AccessKind::kScatterAdd, &data, nullptr};
+    a.via = via;
+    a.post = [&data](Runtime& rt, ScheduleHandle h) {
+      return rt.scatter_add_async<T>(h,
+                                     std::span<T>{data.data(), data.size()});
+    };
+    writes_.push_back(std::move(a));
+    return *this;
+  }
+
+  /// DistributedArray flavor: sizes the ghost region and zeroes it before
+  /// the compute (the LoopBuilder accumulator convention).
+  template <typename T>
+  Step& writes_add(lang::DistributedArray<T>& acc, ScheduleHandle via) {
+    CommAccess a;
+    a.decl = {lang::AccessKind::kScatterAdd, &acc, nullptr};
+    a.via = via;
+    a.prepare = [&acc](Runtime& rt, ScheduleHandle h) {
+      const GlobalIndex extent = rt.extent(h);
+      acc.ensure_extent(extent);
+      for (GlobalIndex i = acc.owned(); i < extent; ++i) acc[i] = T{};
+    };
+    a.post = [&acc](Runtime& rt, ScheduleHandle h) {
+      return rt.scatter_add_async<T>(h, acc.local());
+    };
+    writes_.push_back(std::move(a));
+    return *this;
+  }
+
+  /// Light-weight migration after the compute: `items[i]` moves to rank
+  /// `dest_procs[i]` (filled in by the compute), arrivals append to `out`.
+  /// Use then() to consume `out` when the motion completes.
+  template <typename T>
+  Step& migrates(std::vector<T>& items, const std::vector<int>& dest_procs,
+                 std::vector<T>& out) {
+    CommAccess a;
+    a.decl = {lang::AccessKind::kMigrate, &items, &out};
+    a.post = [&items, &dest_procs, &out](Runtime& rt, ScheduleHandle) {
+      CHAOS_CHECK(dest_procs.size() == items.size(),
+                  "migrates: one destination rank per item");
+      return rt.migrate_async<T>(
+          dest_procs, std::span<const T>{items.data(), items.size()}, out);
+    };
+    writes_.push_back(std::move(a));
+    return *this;
+  }
+
+  // ---- local effect declarations ------------------------------------
+
+  /// Declare that the compute callback reads `array` (no communication).
+  template <typename C>
+  Step& uses(const C& array) {
+    locals_.push_back({lang::AccessKind::kLocalRead, &array, nullptr});
+    return *this;
+  }
+
+  /// Declare that the compute callback writes `array` (no communication).
+  /// Required whenever the compute mutates an array other steps gather —
+  /// it is what keeps their gathers from being hoisted across the write.
+  template <typename C>
+  Step& updates(C& array) {
+    locals_.push_back({lang::AccessKind::kLocalWrite, &array, nullptr});
+    return *this;
+  }
+
+  Step& compute(std::function<void()> fn) {
+    compute_ = std::move(fn);
+    return *this;
+  }
+
+  /// Runs when this step's write accesses have completed (immediately
+  /// after the compute when the step has none) — e.g. swapping a migrate's
+  /// arrival buffer into place.
+  Step& then(std::function<void()> fn) {
+    finalize_ = std::move(fn);
+    return *this;
+  }
+
+  // ---- bench introspection -------------------------------------------
+
+  /// Cumulative wire traffic of this step's gather / write batches (from
+  /// comm::Engine::batch_traffic), attributing messages and bytes to the
+  /// individual step rather than the whole run.
+  comm::Engine::Traffic gather_traffic() const { return gather_traffic_; }
+  comm::Engine::Traffic write_traffic() const { return write_traffic_; }
+
+ private:
+  friend class StepGraph;
+
+  struct CommAccess {
+    lang::AccessDecl decl;
+    ScheduleHandle via{};
+    /// Pre-execution hook: gathers run it just before their post, writes
+    /// just before the compute (accumulator sizing / zeroing).
+    std::function<void(Runtime&, ScheduleHandle)> prepare;
+    std::function<comm::CommHandle(Runtime&, ScheduleHandle)> post;
+  };
+
+  std::string name_;
+  std::size_t idx_;
+  std::vector<CommAccess> gathers_;  ///< pre-compute communication
+  std::vector<CommAccess> writes_;   ///< post-compute communication
+  std::vector<lang::AccessDecl> locals_;
+  std::function<void()> compute_;
+  std::function<void()> finalize_;
+
+  // Execution state, driven by StepGraph.
+  std::vector<comm::CommHandle> gather_handles_;
+  std::vector<comm::CommHandle> write_handles_;
+  bool gathers_posted_ = false;
+  bool writes_posted_ = false;
+  comm::Engine::Traffic gather_traffic_{};
+  comm::Engine::Traffic write_traffic_{};
+};
+
+class StepGraph {
+ public:
+  explicit StepGraph(Runtime& rt) : rt_(rt) {}
+  StepGraph(const StepGraph&) = delete;
+  StepGraph& operator=(const StepGraph&) = delete;
+
+  /// Declare a new step, appended to the execution order.
+  Step& step(std::string name);
+
+  /// The declared step of that name, or null.
+  Step* find(std::string_view name);
+
+  std::size_t size() const { return steps_.size(); }
+  Step& at(std::size_t i) {
+    CHAOS_CHECK(i < steps_.size(), "step index out of range");
+    return steps_[i];
+  }
+
+  /// Pipelining switch. On (default): gathers are hoisted ahead of their
+  /// step whenever the hazard analysis allows. Off: plain eager
+  /// post/flush/wait at every step — the bitwise reference arm.
+  void set_pipelining(bool on) { pipelining_ = on; }
+  bool pipelining() const { return pipelining_; }
+
+  /// Execute every step once, in declaration order. Leaves the pipeline
+  /// hot: trailing writes (and next-iteration gathers) may still be in
+  /// flight — call advance() again, or quiesce() before touching the
+  /// arrays outside the graph. Pass arm_next_iteration = false on the
+  /// final iteration (Runtime::run does) to skip the trailing gather
+  /// hoist a quiesce would only post-and-discard.
+  void advance(bool arm_next_iteration = true);
+
+  /// Complete every outstanding batch, run pending finalizers, and reset
+  /// the arming state. Required before repartitioning, re-inspecting a
+  /// declared schedule, or reading/writing the arrays imperatively.
+  void quiesce();
+
+  /// Swap a schedule handle everywhere it is declared (quiesces first).
+  /// This is how a graph re-arms onto a repartitioned successor epoch
+  /// without being re-declared.
+  void retarget(ScheduleHandle from, ScheduleHandle to);
+
+  struct Stats {
+    std::uint64_t iterations = 0;
+    std::uint64_t gather_batches = 0;
+    std::uint64_t write_batches = 0;
+    /// Gather batches posted ahead of their step's execution position.
+    std::uint64_t pipelined_gathers = 0;
+    /// Executions where one step's gathers and another step's writes were
+    /// concurrently in flight (a gather posted with scatters outstanding,
+    /// or a scatter posted with a later step's gathers outstanding) — the
+    /// "step k+1 gathers posted before step k scatters complete" overlaps.
+    std::uint64_t overlapped_posts = 0;
+    /// Forced waits: an outstanding write batch had to complete because a
+    /// dependent gather post or compute needed its array.
+    std::uint64_t hazard_stalls = 0;
+    std::uint64_t retargets = 0;
+    std::uint64_t quiesces = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<const void*> gather_touch(const Step& s) const;
+  std::vector<const void*> compute_touch(const Step& s) const;
+  bool step_blocks_hoist(const Step& s,
+                         std::span<const void* const> arrays) const;
+  bool pending_write_touching(std::span<const void* const> arrays) const;
+
+  void check_bindings() const;
+  /// Post gathers for every armable step at execution position `exec_pos`
+  /// (index of the next compute to run; size() = end of iteration), in
+  /// strict step order, stopping at the first hazard.
+  void try_arm(std::size_t exec_pos);
+  void post_gathers(Step& s, bool early);
+  void post_writes(Step& s);
+  void wait_gathers(Step& s);
+  void wait_writes(Step& s);
+  void wait_conflicting_writes(std::span<const void* const> arrays);
+
+  Runtime& rt_;
+  bool pipelining_ = true;
+  std::deque<Step> steps_;
+  /// Steps with a posted, un-waited write batch, in post (FIFO) order.
+  std::vector<std::size_t> posted_write_order_;
+  Stats stats_;
+};
+
+}  // namespace chaos

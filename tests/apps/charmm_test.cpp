@@ -178,6 +178,12 @@ TEST_P(CharmmParallelSweep, MatchesSequentialReference) {
   ParallelCharmmConfig cfg;
   cfg.system = sys_params;
   cfg.run = run;
+  // The historical eager reference shape, whose accumulation order tracks
+  // the sequential loop nest to last-bit scale. The step-graph shapes have
+  // their own agreement tests (CharmmStepGraph suite) — their pipelined
+  // scatter delivery reassociates float adds, which neighbor-list rebuilds
+  // amplify into genuine (physically equivalent) trajectory divergence.
+  cfg.shape = CharmmShape::kMerged;
   cfg.collect_state = true;
   sim::Machine m(P);
   auto par = run_parallel_charmm(m, cfg);
@@ -207,7 +213,7 @@ TEST(CharmmParallel, MultipleSchedulesModeAlsoCorrect) {
   ParallelCharmmConfig cfg;
   cfg.system = sys_params;
   cfg.run = run;
-  cfg.merged_schedules = false;
+  cfg.shape = CharmmShape::kMultiple;
   cfg.collect_state = true;
   sim::Machine m(4);
   auto par = run_parallel_charmm(m, cfg);
@@ -226,7 +232,7 @@ TEST(CharmmParallel, EngineCoalescedModeAlsoCorrect) {
   ParallelCharmmConfig cfg;
   cfg.system = sys_params;
   cfg.run = run;
-  cfg.engine_coalesced = true;
+  cfg.shape = CharmmShape::kEngine;
   cfg.collect_state = true;
   sim::Machine m(4);
   auto par = run_parallel_charmm(m, cfg);
@@ -245,9 +251,9 @@ TEST(CharmmParallel, EngineCoalescingSendsFewerMessagesThanMultiple) {
   cfg.run.nb_rebuild_every = 10;
 
   sim::Machine m1(4), m2(4);
-  cfg.merged_schedules = false;
+  cfg.shape = CharmmShape::kMultiple;
   auto multiple = run_parallel_charmm(m1, cfg);
-  cfg.engine_coalesced = true;
+  cfg.shape = CharmmShape::kEngine;
   auto engine = run_parallel_charmm(m2, cfg);
 
   EXPECT_LT(engine.msgs_sent, multiple.msgs_sent);
@@ -288,6 +294,7 @@ TEST(CharmmParallel, RepartitioningPreservesCorrectness) {
   cfg.run = run;
   cfg.repartition_every = 2;
   cfg.alternate_partitioners = true;
+  cfg.shape = CharmmShape::kMerged;  // see MatchesSequentialReference
   cfg.collect_state = true;
   sim::Machine m(3);
   auto par = run_parallel_charmm(m, cfg);
@@ -320,11 +327,133 @@ TEST(CharmmParallel, MergedSchedulesReduceCommunication) {
   cfg.run.nb_rebuild_every = 10;
 
   sim::Machine m1(4), m2(4);
-  cfg.merged_schedules = true;
+  cfg.shape = CharmmShape::kMerged;
   auto merged = run_parallel_charmm(m1, cfg);
-  cfg.merged_schedules = false;
+  cfg.shape = CharmmShape::kMultiple;
   auto multiple = run_parallel_charmm(m2, cfg);
   EXPECT_LT(merged.communication_time, multiple.communication_time);
+}
+
+// ---- Step-graph executor ---------------------------------------------------
+
+TEST(CharmmStepGraph, PipelinedBitwiseEqualsEagerIncludingRepartition) {
+  // The acceptance property of the declarative executor: the pipelined
+  // step-graph run must be BITWISE identical to the same graph executed
+  // eagerly (post/flush/wait at every step) — including across mid-run
+  // repartitions that land while the pipeline is hot.
+  ParallelCharmmConfig cfg;
+  cfg.system = SystemParams::small(240);
+  cfg.run.steps = 7;
+  cfg.run.nb_rebuild_every = 3;
+  cfg.repartition_every = 3;
+  cfg.alternate_partitioners = true;
+  cfg.collect_state = true;
+
+  sim::Machine m1(4), m2(4);
+  cfg.shape = CharmmShape::kStepGraph;
+  auto pipelined = run_parallel_charmm(m1, cfg);
+  cfg.shape = CharmmShape::kStepGraphEager;
+  auto eager = run_parallel_charmm(m2, cfg);
+
+  ASSERT_EQ(pipelined.pos.size(), eager.pos.size());
+  for (std::size_t i = 0; i < eager.pos.size(); ++i) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_EQ(pipelined.pos[i][a], eager.pos[i][a]) << "atom " << i;
+      EXPECT_EQ(pipelined.force[i][a], eager.force[i][a]) << "atom " << i;
+    }
+  }
+  // The pipelined arm must actually have pipelined: non-bonded gathers
+  // posted while bonded scatters were in flight, and hazard stalls where
+  // the dependence analysis required delivery.
+  EXPECT_GT(pipelined.steps_overlapped, 0u);
+  EXPECT_GT(pipelined.pipelined_gathers, 0u);
+  EXPECT_GT(pipelined.hazard_stalls, 0u);
+  EXPECT_EQ(eager.steps_overlapped, 0u);
+  EXPECT_EQ(eager.pipelined_gathers, 0u);
+}
+
+TEST(CharmmStepGraph, MatchesSequentialTightlyWithoutListRebuilds) {
+  // With no mid-run neighbor-list rebuild there is no amplification
+  // channel: the graph's only deviation from the sequential reference is
+  // float reassociation from its per-step scatter delivery, which stays at
+  // last-bits scale over a short run.
+  const auto sys_params = SystemParams::small(200);
+  SequentialRunConfig run;
+  run.steps = 4;
+  run.nb_rebuild_every = 10;  // > steps: no rebuild inside the run
+  auto seq = run_sequential_charmm(MolecularSystem::generate(sys_params), run);
+
+  ParallelCharmmConfig cfg;
+  cfg.system = sys_params;
+  cfg.run = run;
+  ASSERT_EQ(cfg.shape, CharmmShape::kStepGraph);  // primary by default
+  cfg.collect_state = true;
+  sim::Machine m(4);
+  auto par = run_parallel_charmm(m, cfg);
+  for (std::size_t i = 0; i < seq.pos.size(); ++i)
+    for (int a = 0; a < 3; ++a)
+      EXPECT_NEAR(par.pos[i][a], seq.pos[i][a], 1e-7);
+}
+
+TEST(CharmmStepGraph, TracksSequentialPhysicsAcrossListRebuilds) {
+  // Across rebuilds a last-bit position difference can flip a near-cutoff
+  // pair in or out of the regenerated list, after which the (chaotic)
+  // trajectories legitimately diverge — so this run is held to a physics
+  // tolerance, not an arithmetic one. Schedule bugs produce O(1) errors
+  // and still fail it; the arithmetic-level guarantee for the graph is the
+  // bitwise pipelined-vs-eager test above.
+  const auto sys_params = SystemParams::small(200);
+  SequentialRunConfig run;
+  run.steps = 4;
+  run.nb_rebuild_every = 2;
+  auto seq = run_sequential_charmm(MolecularSystem::generate(sys_params), run);
+
+  ParallelCharmmConfig cfg;
+  cfg.system = sys_params;
+  cfg.run = run;
+  cfg.collect_state = true;
+  sim::Machine m(4);
+  auto par = run_parallel_charmm(m, cfg);
+  for (std::size_t i = 0; i < seq.pos.size(); ++i)
+    for (int a = 0; a < 3; ++a)
+      EXPECT_NEAR(par.pos[i][a], seq.pos[i][a], 5e-3);
+  EXPECT_EQ(par.phases.nb_rebuilds, seq.nb_rebuilds);
+}
+
+TEST(CharmmStepGraph, ReportsPerStepTraffic) {
+  ParallelCharmmConfig cfg;
+  cfg.system = SystemParams::small(240);
+  cfg.run.steps = 4;
+  cfg.run.nb_rebuild_every = 10;
+  cfg.shape = CharmmShape::kStepGraph;
+  sim::Machine m(4);
+  auto r = run_parallel_charmm(m, cfg);
+
+  ASSERT_EQ(r.step_traffic.size(), 3u);
+  EXPECT_EQ(r.step_traffic[0].name, "bonded");
+  EXPECT_EQ(r.step_traffic[1].name, "nonbonded");
+  EXPECT_EQ(r.step_traffic[2].name, "integrate");
+  // Both force steps move ghost traffic in both directions; the local
+  // integrate step moves none.
+  EXPECT_GT(r.step_traffic[0].gather_msgs, 0u);
+  EXPECT_GT(r.step_traffic[0].write_msgs, 0u);
+  EXPECT_GT(r.step_traffic[1].gather_bytes, 0u);
+  EXPECT_EQ(r.step_traffic[2].gather_msgs, 0u);
+  EXPECT_EQ(r.step_traffic[2].write_msgs, 0u);
+}
+
+TEST(CharmmStepGraph, PipeliningDoesNotSlowTheRunDown) {
+  ParallelCharmmConfig cfg;
+  cfg.system = SystemParams::small(300);
+  cfg.run.steps = 6;
+  cfg.run.nb_rebuild_every = 10;
+
+  sim::Machine m1(4), m2(4);
+  cfg.shape = CharmmShape::kStepGraph;
+  auto pipelined = run_parallel_charmm(m1, cfg);
+  cfg.shape = CharmmShape::kStepGraphEager;
+  auto eager = run_parallel_charmm(m2, cfg);
+  EXPECT_LE(pipelined.execution_time, eager.execution_time);
 }
 
 }  // namespace

@@ -258,6 +258,9 @@ TEST(DsmcParallel, LightweightCheaperThanRegular) {
   ParallelDsmcConfig cfg;
   cfg.params = p;
   cfg.steps = 10;
+  // Imperative on both arms, like the table4 bench: isolate the schedule
+  // cost difference from step-graph pipelining gains.
+  cfg.executor = DsmcExecutor::kImperative;
 
   sim::Machine m1(4), m2(4);
   cfg.migration = MigrationMode::kLightweight;
@@ -297,6 +300,39 @@ TEST(DsmcParallel, RemappingImprovesImbalancedRun) {
   auto remap = run_parallel_dsmc(m2, cfg);
   EXPECT_LT(remap.execution_time, stat.execution_time);
   EXPECT_LT(remap.load_balance, stat.load_balance);
+}
+
+TEST(DsmcStepGraph, PipelinedEagerAndImperativeAllMatchExactly) {
+  // The move/remap cycle declared as a step graph (the default executor)
+  // must be bitwise identical to the eager graph arm AND to the
+  // hand-sequenced imperative fallback — including remaps landing while
+  // the declared migration is still in flight.
+  DsmcParams p = small_params();
+  p.nonuniform_init = true;
+  auto seq = run_sequential_dsmc(p, 9);
+
+  ParallelDsmcConfig cfg;
+  cfg.params = p;
+  cfg.steps = 9;
+  cfg.remap_every = 3;
+  cfg.collect_state = true;
+
+  ASSERT_EQ(cfg.executor, DsmcExecutor::kStepGraph);  // primary by default
+  sim::Machine m1(4);
+  auto graph = run_parallel_dsmc(m1, cfg);
+  expect_exact_match(graph.particles, seq.particles);
+
+  cfg.executor = DsmcExecutor::kStepGraphEager;
+  sim::Machine m2(4);
+  auto eager = run_parallel_dsmc(m2, cfg);
+  expect_exact_match(eager.particles, graph.particles);
+  EXPECT_EQ(eager.collisions, graph.collisions);
+
+  cfg.executor = DsmcExecutor::kImperative;
+  sim::Machine m3(4);
+  auto imperative = run_parallel_dsmc(m3, cfg);
+  expect_exact_match(imperative.particles, graph.particles);
+  EXPECT_EQ(imperative.collisions, graph.collisions);
 }
 
 TEST(DsmcParallel, VirtualTimesDeterministic) {

@@ -8,7 +8,7 @@
 #include "lang/distributed_array.hpp"
 #include "lang/distribution.hpp"
 #include "lang/forall.hpp"
-#include "lang/inspector_cache.hpp"
+#include "runtime/schedule_registry.hpp"
 #include "util/rng.hpp"
 
 namespace chaos::lang {
@@ -91,11 +91,11 @@ TEST(Remapper, MovesAlignedArraysBetweenDistributions) {
   });
 }
 
-TEST(InspectorCache, ReusesPlanWhileUnchanged) {
+TEST(ScheduleRegistry, ReusesPlanWhileUnchanged) {
   Machine m(2);
   m.run([](Comm& c) {
     auto d = Distribution::block(c, 20);
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     IndirectionArray ind(
         c.rank() == 0 ? std::vector<GlobalIndex>{0, 10, 11}
                       : std::vector<GlobalIndex>{19, 1, 2});
@@ -108,11 +108,11 @@ TEST(InspectorCache, ReusesPlanWhileUnchanged) {
   });
 }
 
-TEST(InspectorCache, RebuildsWhenIndirectionChanges) {
+TEST(ScheduleRegistry, RebuildsWhenIndirectionChanges) {
   Machine m(2);
   m.run([](Comm& c) {
     auto d = Distribution::block(c, 20);
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     IndirectionArray ind(std::vector<GlobalIndex>{0, 1});
     cache.plan(c, d, ind);
     ind.assign({2, 3, 19});
@@ -122,13 +122,13 @@ TEST(InspectorCache, RebuildsWhenIndirectionChanges) {
   });
 }
 
-TEST(InspectorCache, OneRanksChangeForcesGlobalRebuild) {
+TEST(ScheduleRegistry, OneRanksChangeForcesGlobalRebuild) {
   // The modification record is checked globally: if only rank 0's list
   // changed, rank 1 must still participate in the rebuild collective.
   Machine m(2);
   m.run([](Comm& c) {
     auto d = Distribution::block(c, 20);
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     IndirectionArray ind(std::vector<GlobalIndex>{0, 19});
     cache.plan(c, d, ind);
     if (c.rank() == 0) ind.assign({5, 6});
@@ -137,11 +137,11 @@ TEST(InspectorCache, OneRanksChangeForcesGlobalRebuild) {
   });
 }
 
-TEST(InspectorCache, DistributionChangeInvalidates) {
+TEST(ScheduleRegistry, DistributionChangeInvalidates) {
   Machine m(2);
   m.run([](Comm& c) {
     auto d1 = Distribution::block(c, 20);
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     IndirectionArray ind(std::vector<GlobalIndex>{0, 19});
     cache.plan(c, d1, ind);
     auto d2 = Distribution::cyclic(c, 20);
@@ -186,7 +186,7 @@ TEST(ForallReduceSum, MatchesSequentialReduction) {
     std::vector<GlobalIndex> refs(
         all_refs.begin() + c.rank() * 30,
         all_refs.begin() + (c.rank() + 1) * 30);
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     IndirectionArray ind(refs);
     forall_reduce_sum(c, cache, d, ind, y, x,
                       [&](std::span<const GlobalIndex> lrefs) {
@@ -207,7 +207,7 @@ TEST(ForallReduceSum, RepeatedExecutionsDoNotDoubleCount) {
     auto d = Distribution::block(c, 10);
     DistributedArray<double> x(c, d), y(c, d);
     for (GlobalIndex i = 0; i < y.owned(); ++i) y[i] = 1.0;
-    InspectorCache cache;
+    runtime::ScheduleRegistry cache;
     // Both ranks reference global 0 (owned by rank 0).
     IndirectionArray ind(std::vector<GlobalIndex>{0});
     for (int step = 0; step < 3; ++step) {
