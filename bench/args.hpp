@@ -1,0 +1,108 @@
+// Shared CLI parsing for the bench harnesses — one place for the flags
+// and the enum spellings instead of per-bench copies.
+//
+// Flags:
+//   --quick               shrink workloads for smoke runs
+//   --shape=NAME          override the CHARMM executor shape
+//                         (step_graph | step_graph_eager | merged |
+//                          multiple | engine) — honored by table1/table2;
+//                         table3/table8 sweep shapes themselves
+//   --executor=NAME       override the DSMC executor drive
+//                         (step_graph | step_graph_eager | imperative) —
+//                         honored by table5; table4/table7 pin the
+//                         imperative drive for per-phase comparability
+//   --partitioner=NAME    override the (re)partitioner
+//                         (rcb | rib | chain | block) — honored by the
+//                         CHARMM tables; table5 sweeps partitioners itself
+//
+// Unknown values raise chaos::Error listing the accepted spellings;
+// unknown flags are ignored (benches historically tolerate extra argv).
+// A bench that sweeps or pins a knob simply does not honor its override —
+// see the per-table notes above.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/charmm/parallel.hpp"
+#include "apps/dsmc/parallel.hpp"
+#include "core/parallel_partition.hpp"
+#include "util/check.hpp"
+
+namespace chaos::bench {
+
+inline charmm::CharmmShape charmm_shape_from(const std::string& name) {
+  if (name == "step_graph") return charmm::CharmmShape::kStepGraph;
+  if (name == "step_graph_eager") return charmm::CharmmShape::kStepGraphEager;
+  if (name == "merged") return charmm::CharmmShape::kMerged;
+  if (name == "multiple") return charmm::CharmmShape::kMultiple;
+  if (name == "engine") return charmm::CharmmShape::kEngine;
+  throw Error("unknown --shape '" + name +
+              "' (step_graph | step_graph_eager | merged | multiple | "
+              "engine)");
+}
+
+inline dsmc::DsmcExecutor dsmc_executor_from(const std::string& name) {
+  if (name == "step_graph") return dsmc::DsmcExecutor::kStepGraph;
+  if (name == "step_graph_eager") return dsmc::DsmcExecutor::kStepGraphEager;
+  if (name == "imperative") return dsmc::DsmcExecutor::kImperative;
+  throw Error("unknown --executor '" + name +
+              "' (step_graph | step_graph_eager | imperative)");
+}
+
+inline core::PartitionerKind partitioner_from(const std::string& name) {
+  if (name == "rcb") return core::PartitionerKind::kRcb;
+  if (name == "rib") return core::PartitionerKind::kRib;
+  if (name == "chain") return core::PartitionerKind::kChain;
+  if (name == "block") return core::PartitionerKind::kBlock;
+  throw Error("unknown --partitioner '" + name +
+              "' (rcb | rib | chain | block)");
+}
+
+struct Options {
+  /// Shrink workloads for smoke runs (`--quick`).
+  bool quick = false;
+  std::optional<charmm::CharmmShape> shape;
+  std::optional<dsmc::DsmcExecutor> executor;
+  std::optional<core::PartitionerKind> partitioner;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    const auto value_of = [](const char* arg,
+                             const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+      return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        o.quick = true;
+      } else if (const char* v = value_of(argv[i], "--shape")) {
+        o.shape = charmm_shape_from(v);
+      } else if (const char* v = value_of(argv[i], "--executor")) {
+        o.executor = dsmc_executor_from(v);
+      } else if (const char* v = value_of(argv[i], "--partitioner")) {
+        o.partitioner = partitioner_from(v);
+      }
+    }
+    return o;
+  }
+
+  /// Apply the overrides a CHARMM bench honors (benches that sweep shapes
+  /// themselves only take the partitioner).
+  void apply(charmm::ParallelCharmmConfig& cfg, bool honor_shape = true) const {
+    if (honor_shape && shape) cfg.shape = *shape;
+    if (partitioner) cfg.partitioner = *partitioner;
+  }
+
+  /// Apply the overrides a DSMC bench honors (benches that sweep
+  /// partitioners or pin the executor suppress the respective knob).
+  void apply(dsmc::ParallelDsmcConfig& cfg, bool honor_executor = true,
+             bool honor_partitioner = true) const {
+    if (honor_executor && executor) cfg.executor = *executor;
+    if (honor_partitioner && partitioner) cfg.remap_partitioner = *partitioner;
+  }
+};
+
+}  // namespace chaos::bench

@@ -8,26 +8,14 @@
 // happen — is. See EXPERIMENTS.md for the recorded comparison.
 #pragma once
 
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "args.hpp"
 #include "util/table.hpp"
 
 namespace chaos::bench {
-
-struct Options {
-  /// Shrink workloads for smoke runs (`--quick`).
-  bool quick = false;
-
-  static Options parse(int argc, char** argv) {
-    Options o;
-    for (int i = 1; i < argc; ++i)
-      if (std::strcmp(argv[i], "--quick") == 0) o.quick = true;
-    return o;
-  }
-};
 
 /// Render a row of doubles with a label.
 inline std::vector<std::string> num_row(const std::string& label,

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cfg.partitioner = core::PartitionerKind::kRcb;
   cfg.shape = charmm::CharmmShape::kMerged;
   cfg.run.nb_rebuild_every = 25;
+  opt.apply(cfg);  // --shape / --partitioner overrides
   if (opt.quick) cfg.system = charmm::SystemParams::small(600);
 
   const std::vector<int> procs = opt.quick ? std::vector<int>{1, 4, 8}

@@ -204,6 +204,8 @@ int main(int argc, char** argv) {
       cfg.steps = real_steps;
       cfg.remap_every = row.remap_every;
       cfg.remap_partitioner = row.kind;
+      // --executor override only: the partitioner is the swept variable.
+      opt.apply(cfg, /*honor_executor=*/true, /*honor_partitioner=*/false);
       sim::Machine machine(P);
       auto r = dsmc::run_parallel_dsmc(machine, cfg);
       measured.push_back(r.execution_time * scale);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   charmm::ParallelCharmmConfig cfg;
   cfg.partitioner = core::PartitionerKind::kRcb;
   cfg.run.nb_rebuild_every = 25;
+  opt.apply(cfg, /*honor_shape=*/false);  // the bench sweeps both graph arms
   if (opt.quick) cfg.system = charmm::SystemParams::small(600);
 
   const std::vector<int> procs =

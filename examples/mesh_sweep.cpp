@@ -1,0 +1,151 @@
+// Example: edge-based unstructured-mesh sweep as a ~40-line client of the
+// typed view API (ROADMAP: "new workloads as ~30-line Runtime clients").
+//
+// A node field u lives on an irregularly partitioned node set; two edge
+// families (short mesh edges and long-range "diagonal" couplings, each its
+// own indirection array of endpoint pairs) accumulate per-edge fluxes into
+// per-family node accumulators, then an advance step integrates u. The
+// binding set IS the communication: `in(u).via(h)` gathers exactly the
+// endpoint ghosts a family references, `sum(du).via(h)` combines the flux
+// contributions at the owners. Because the two sweeps touch disjoint
+// accumulators, the runtime pipelines them — the long-range gather posts
+// at iteration start and the short-family scatter stays in flight across
+// the long-range compute (the CHARMM bonded/non-bonded shape on a mesh).
+// Pipelined and eager arms must be bitwise identical; the example exits
+// nonzero otherwise, so the ctest smoke-run doubles as the check.
+//
+// Run: ./mesh_sweep [ranks]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "lang/array.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chaos;
+using core::GlobalIndex;
+
+constexpr GlobalIndex kNodes = 1024;
+constexpr int kIters = 30;
+constexpr double kDt = 0.05;
+
+/// Endpoint pairs (a, b) of one edge family, one edge per owned node.
+std::vector<GlobalIndex> family_edges(const std::vector<GlobalIndex>& owned,
+                                      GlobalIndex mul, GlobalIndex add) {
+  std::vector<GlobalIndex> refs;
+  refs.reserve(owned.size() * 2);
+  for (GlobalIndex a : owned) {
+    refs.push_back(a);
+    refs.push_back((a * mul + add) % kNodes);
+  }
+  return refs;
+}
+
+struct ArmResult {
+  std::vector<double> u;
+  StepGraph::Stats stats;
+};
+
+ArmResult run_arm(int ranks, bool pipelining) {
+  ArmResult out;
+  out.u.assign(static_cast<std::size_t>(kNodes), 0.0);
+  sim::Machine machine(ranks);
+  machine.run([&](sim::Comm& comm) {
+    Runtime rt(comm);
+    // Scattered node ownership, as a graph partitioner would produce.
+    std::vector<int> map(static_cast<std::size_t>(kNodes));
+    for (GlobalIndex g = 0; g < kNodes; ++g)
+      map[static_cast<std::size_t>(g)] = static_cast<int>((g * 5 + 2) % ranks);
+    const DistHandle d = rt.irregular(map);
+
+    Array<double> u(rt, d, "u");
+    Array<double> du_short(rt, d, "du_short"), du_long(rt, d, "du_long");
+    u.fill([](GlobalIndex g) {
+      return static_cast<double>(g % 17) - 8.0;  // rough initial field
+    });
+
+    lang::IndirectionArray mesh(family_edges(u.globals(), 1, 1));
+    lang::IndirectionArray diag(family_edges(u.globals(), 31, 11));
+    const ScheduleHandle hm = rt.inspect(d, mesh);
+    const ScheduleHandle hd = rt.inspect(d, diag);
+    const std::span<const GlobalIndex> lm = rt.local_refs(rt.bind(d, mesh));
+    const std::span<const GlobalIndex> ld = rt.local_refs(rt.bind(d, diag));
+
+    // Per-edge flux f = w*(u[b]-u[a]) accumulated du[a] += f, du[b] -= f.
+    const auto sweep = [&](std::span<const GlobalIndex> edges,
+                           Array<double>& du, double w) {
+      for (GlobalIndex i = 0; i < du.owned(); ++i) du[i] = 0.0;
+      for (std::size_t e = 0; e + 1 < edges.size(); e += 2) {
+        const double flux = w * (u[edges[e + 1]] - u[edges[e]]);
+        du[edges[e]] += flux;
+        du[edges[e + 1]] -= flux;
+      }
+      comm.charge_work(static_cast<double>(edges.size()) * 3.0);
+    };
+
+    StepGraph g(rt);
+    g.set_pipelining(pipelining);
+    g.step("sweep_mesh")
+        .bind(in(u).via(hm), sum(du_short).via(hm))
+        .compute([&] { sweep(lm, du_short, 0.25); });
+    g.step("sweep_diag")
+        .bind(in(u).via(hd), sum(du_long).via(hd))
+        .compute([&] { sweep(ld, du_long, 0.0625); });
+    g.step("advance")
+        .bind(use(du_short), use(du_long), update(u))
+        .compute([&] {
+          for (GlobalIndex i = 0; i < u.owned(); ++i)
+            u[i] += kDt * (du_short[i] + du_long[i]);
+          comm.charge_work(static_cast<double>(u.owned()) * 2.0);
+        });
+    rt.run(g, kIters);
+
+    struct IdVal {
+      GlobalIndex id;
+      double v;
+    };
+    std::vector<IdVal> mine(u.globals().size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = {u.globals()[i], u[static_cast<GlobalIndex>(i)]};
+    const std::vector<IdVal> all = comm.allgatherv<IdVal>(mine);
+    if (comm.rank() == 0) {  // ranks are threads: one writer for `out`
+      for (const IdVal& iv : all)
+        out.u[static_cast<std::size_t>(iv.id)] = iv.v;
+      out.stats = g.stats();
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const ArmResult eager = run_arm(ranks, false);
+  const ArmResult pipelined = run_arm(ranks, true);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < eager.u.size(); ++i)
+    if (eager.u[i] != pipelined.u[i]) ++mismatches;
+  // The point of the two-family shape: the runtime actually overlapped.
+  const bool overlapped = pipelined.stats.overlapped_posts > 0 &&
+                          pipelined.stats.pipelined_gathers > 0;
+
+  std::cout << "mesh_sweep: " << kNodes << " nodes, two edge families, "
+            << ranks << " ranks, " << kIters << " sweeps\n"
+            << "  pipelined vs eager: "
+            << (mismatches == 0 ? "BITWISE IDENTICAL" : "MISMATCH") << " ("
+            << mismatches << " differing entries)\n"
+            << "  gathers hoisted ahead of their step: "
+            << pipelined.stats.pipelined_gathers
+            << "\n  batches concurrently in flight: "
+            << pipelined.stats.overlapped_posts
+            << "\n  hazard stalls honored: " << pipelined.stats.hazard_stalls
+            << "\n  u head: " << chaos::Table::num(pipelined.u[0], 6) << ", "
+            << chaos::Table::num(pipelined.u[1], 6) << "\n";
+  return (mismatches == 0 && overlapped) ? 0 : 1;
+}

@@ -1,21 +1,30 @@
 // Quickstart: the paper's Figure 1 irregular loop, parallelized end to end
-// through the chaos::Runtime facade.
+// on the typed view API.
 //
 //   do i = 1, n
 //     x(ia(i)) = x(ia(i)) + y(ib(i))
 //   end do
 //
-// Walks the six runtime phases as descriptor operations on one Runtime:
-// adopt an irregular distribution (DistHandle), bind + inspect the two
-// indirection arrays (LoopHandle -> localized refs), merge their schedules
-// (ScheduleHandle), then run the executor — gather y ghosts, compute,
-// scatter-add x contributions back.
+// chaos::Array<T> pairs a distribution epoch with the element type and a
+// registered name; binding the arrays into a step as views — in(y) for
+// the gather, sum(x) for the scatter-add — makes the runtime infer the
+// communication from the access expressions, exactly what the paper's
+// compiler support derives from the FORALL body (§5.2). The two
+// indirection arrays are inspected and merged once (one schedule serves
+// both the gather of y and the scatter of x), and the bound arrays double
+// as the loop's data buffers: the declaration IS the data access.
+//
+// The raw-handle walkthrough this example used to carry (bind/inspect/
+// gather/scatter_add on untyped spans) lives on in docs/API.md as the
+// documented low-level escape hatch.
 //
 // Run: ./quickstart
 #include <iostream>
 #include <numeric>
 
+#include "lang/array.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
 #include "util/rng.hpp"
 
 int main() {
@@ -36,12 +45,7 @@ int main() {
     for (GlobalIndex g = 0; g < kN; ++g)
       map[static_cast<size_t>(g)] = static_cast<int>((g * 7 + 3) % kRanks);
     const DistHandle dist = rt.irregular(map);
-    auto mine = rt.owned_globals(dist);
-    const GlobalIndex owned = rt.owned_count(dist);
 
-    // (Phase B, remapping from an earlier distribution, is skipped — the
-    // arrays are initialized directly in place. Phases C/D are trivial
-    // here: each rank executes its own iterations.)
     // The iteration's references: x(ia(i)) += y(ib(i)).
     Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
     std::vector<GlobalIndex> ia(kIters), ib(kIters);
@@ -62,22 +66,30 @@ int main() {
     std::span<const GlobalIndex> ia_local = rt.local_refs(la);
     std::span<const GlobalIndex> ib_local = rt.local_refs(lb);
 
-    std::vector<double> x(static_cast<size_t>(rt.extent(sched)), 0.0);
-    std::vector<double> y(static_cast<size_t>(rt.extent(sched)), 0.0);
-    for (std::size_t k = 0; k < mine.size(); ++k)
-      y[k] = static_cast<double>(mine[k]);
+    // Typed arrays aligned with the distribution; extents (ghost regions)
+    // are managed by the views, not by hand.
+    Array<double> x(rt, dist, "x"), y(rt, dist, "y");
+    y.fill([](GlobalIndex g) { return static_cast<double>(g); });
 
-    // Phase F, the executor: gather ghosts, run the loop on local indices,
-    // scatter-add the off-processor accumulations home.
-    rt.gather<double>(sched, y);
-    for (std::size_t i = 0; i < kIters; ++i)
-      x[static_cast<size_t>(ia_local[i])] += y[static_cast<size_t>(ib_local[i])];
-    rt.scatter_add<double>(sched, x);
+    // Phase F, the executor: one declared step. in(y) gathers the ghosts
+    // the merged schedule references before the compute; sum(x) zeroes
+    // x's ghost slots, then scatter-adds the off-processor accumulations
+    // home after it. The access sets are inferred from these bindings.
+    StepGraph loop(rt);
+    loop.step("figure1")
+        .bind(in(y).via(sched), sum(x).via(sched))
+        .compute([&] {
+          for (std::size_t i = 0; i < kIters; ++i)
+            x[ia_local[i]] += y[ib_local[i]];
+        });
+    rt.run(loop);
 
     // Report: reconstruct the global x on rank 0 and verify against a
     // sequential evaluation of everyone's iterations.
-    std::vector<double> x_owned(x.begin(),
-                                x.begin() + static_cast<std::ptrdiff_t>(owned));
+    const GlobalIndex owned = x.owned();
+    std::vector<double> x_owned(x.local().begin(),
+                                x.local().begin() +
+                                    static_cast<std::ptrdiff_t>(owned));
     auto all_x = comm.allgatherv<double>(x_owned);
     auto all_ia = comm.allgatherv<GlobalIndex>(ia_orig);
     auto all_ib = comm.allgatherv<GlobalIndex>(ib_orig);

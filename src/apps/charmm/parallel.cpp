@@ -444,37 +444,57 @@ class Driver {
            shape() == CharmmShape::kStepGraphEager;
   }
 
-  /// Declare the force cycle as a step graph: each step states its array
-  /// accesses and the runtime pipelines communication across the steps.
-  /// The bonded step owns its accumulator (`force_bond_`), so the two
-  /// force steps touch disjoint arrays: the non-bonded gather of `pos_`
-  /// posts at iteration start, and the bonded scatter-add of `force_bond_`
-  /// stays in flight across the whole non-bonded compute — both overlaps
-  /// the dependence analysis derives, while the integrate step's declared
-  /// reads force both scatters to deliver first.
+  /// Declare the force cycle as a step graph: each step binds its array
+  /// accesses as typed views (in/sum/use/update — the step's lang::Access
+  /// sets are inferred from the bindings) and the runtime pipelines
+  /// communication across the steps. The bonded step owns its accumulator
+  /// (`force_bond_`), so the two force steps touch disjoint arrays: the
+  /// non-bonded gather of `pos_` posts at iteration start, and the bonded
+  /// scatter-add of `force_bond_` stays in flight across the whole
+  /// non-bonded compute — both overlaps the dependence analysis derives,
+  /// while the integrate step's declared reads force both scatters to
+  /// deliver first. `cfg.declare_by_hand` keeps the PR-4 hand-declared
+  /// construction (the escape hatch the equivalence tests hold this one
+  /// against).
   void declare_graph() {
     graph_ = std::make_unique<StepGraph>(rt_);
     graph_->set_pipelining(shape() == CharmmShape::kStepGraph);
+    if (cfg_.declare_by_hand) {
+      graph_->step("bonded")
+          .reads(pos_, h_bond_)
+          .compute([this] { compute_bonded_step(); })
+          .writes_add(force_bond_, h_bond_);
+      graph_->step("nonbonded")
+          .reads(pos_, h_nb_)
+          .compute([this] { compute_nonbonded_step(); })
+          .writes_add(force_, h_nb_);
+      graph_->step("integrate")
+          .uses(force_)
+          .uses(force_bond_)
+          .updates(pos_)
+          .updates(vel_)
+          .compute([this] { integrate_graph(); });
+      return;
+    }
     graph_->step("bonded")
-        .reads(pos_, h_bond_)
-        .compute([this] {
-          std::fill(force_bond_.begin(), force_bond_.end(), part::Vec3{});
-          bonded_into(force_bond_);
-        })
-        .writes_add(force_bond_, h_bond_);
+        .bind(in(pos_).via(h_bond_), sum(force_bond_).via(h_bond_))
+        .compute([this] { compute_bonded_step(); });
     graph_->step("nonbonded")
-        .reads(pos_, h_nb_)
-        .compute([this] {
-          std::fill(force_.begin(), force_.end(), part::Vec3{});
-          nonbonded_into(force_);
-        })
-        .writes_add(force_, h_nb_);
+        .bind(in(pos_).via(h_nb_), sum(force_).via(h_nb_))
+        .compute([this] { compute_nonbonded_step(); });
     graph_->step("integrate")
-        .uses(force_)
-        .uses(force_bond_)
-        .updates(pos_)
-        .updates(vel_)
+        .bind(use(force_), use(force_bond_), update(pos_), update(vel_))
         .compute([this] { integrate_graph(); });
+  }
+
+  void compute_bonded_step() {
+    std::fill(force_bond_.begin(), force_bond_.end(), part::Vec3{});
+    bonded_into(force_bond_);
+  }
+
+  void compute_nonbonded_step() {
+    std::fill(force_.begin(), force_.end(), part::Vec3{});
+    nonbonded_into(force_);
   }
 
   /// Bonded force loop (Figure 10 shape, localized indices), accumulating

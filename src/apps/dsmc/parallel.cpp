@@ -143,28 +143,43 @@ class Driver {
            !cfg_.compiler_generated;
   }
 
-  /// Declare the collide/move cycle as a step graph. The move step's
-  /// migration is a declared access on `mine_`/`arrived_`; the runtime
-  /// derives that the next collide (uses mine_) depends on it and defers
-  /// the wait to that point, and the finalizer swaps the arrival buffer in
-  /// when the motion completes.
+  /// Declare the collide/move cycle as a step graph, the accesses bound
+  /// as typed views (use/update/migrate — the step's access sets are
+  /// inferred from the bindings; cfg.declare_by_hand keeps the
+  /// hand-declared construction the equivalence tests compare against).
+  /// The move step's migration is a declared access on `mine_`/`arrived_`;
+  /// the runtime derives that the next collide (uses mine_) depends on it
+  /// and defers the wait to that point, and the finalizer swaps the
+  /// arrival buffer in when the motion completes.
   void declare_graph() {
     graph_ = std::make_unique<StepGraph>(rt_);
     graph_->set_pipelining(cfg_.executor == DsmcExecutor::kStepGraph);
-    graph_->step("collide").uses(mine_).compute([this] {
+    const auto collide_step = [this] {
       timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
-    });
+    };
+    const auto move_step = [this] {
+      timed(&DsmcPhaseTimes::reduce_append, [&] { move_compute(); });
+    };
+    const auto swap_arrivals = [this] {
+      mine_ = std::move(arrived_);
+      arrived_ = std::vector<Particle>{};
+    };
+    if (cfg_.declare_by_hand) {
+      graph_->step("collide").uses(mine_).compute(collide_step);
+      graph_->step("move")
+          .updates(mine_)
+          .updates(dest_procs_)
+          .compute(move_step)
+          .migrates(mine_, dest_procs_, arrived_)
+          .then(swap_arrivals);
+      return;
+    }
+    graph_->step("collide").bind(use(mine_)).compute(collide_step);
     graph_->step("move")
-        .updates(mine_)
-        .updates(dest_procs_)
-        .compute([this] {
-          timed(&DsmcPhaseTimes::reduce_append, [&] { move_compute(); });
-        })
-        .migrates(mine_, dest_procs_, arrived_)
-        .then([this] {
-          mine_ = std::move(arrived_);
-          arrived_ = std::vector<Particle>{};
-        });
+        .bind(update(mine_), update(dest_procs_))
+        .compute(move_step)
+        .bind(migrate(mine_).to(dest_procs_).into(arrived_))
+        .then(swap_arrivals);
   }
 
   void collide_phase(int step) {

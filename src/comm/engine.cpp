@@ -49,7 +49,7 @@ void Engine::flush() {
   open_ = kNone;
 }
 
-void Engine::deliver(Batch& b, PeerIncoming& pi,
+void Engine::deliver(Batch&, PeerIncoming& pi,
                      std::span<const std::byte> payload) {
   CHAOS_CHECK(payload.size() == pi.total_bytes,
               "coalesced message size does not match expected segments");

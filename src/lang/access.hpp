@@ -29,10 +29,25 @@ enum class AccessKind : std::uint8_t {
 // compute only reads; the distinction stays available for a finer future
 // analysis.
 
+/// Short human-readable name of an access kind (error messages: the
+/// hand-declared vs inferred agreement check renders both sets with it).
+constexpr const char* to_string(AccessKind k) {
+  switch (k) {
+    case AccessKind::kGather: return "in";
+    case AccessKind::kScatter: return "out";
+    case AccessKind::kScatterAdd: return "sum";
+    case AccessKind::kMigrate: return "migrate";
+    case AccessKind::kLocalRead: return "use";
+    case AccessKind::kLocalWrite: return "update";
+  }
+  return "?";
+}
+
 /// One declared access. Arrays are identified by the address of their
-/// container (std::vector / DistributedArray), which is stable across
-/// resizes — the data span itself is re-read at post time. `array2` is the
-/// arrival container of a migrate (both ends of the motion are written).
+/// container (std::vector / DistributedArray / chaos::Array), which is
+/// stable across resizes — the data span itself is re-read at post time.
+/// `array2` is the arrival container of a migrate (both ends of the
+/// motion are written).
 struct AccessDecl {
   AccessKind kind = AccessKind::kLocalRead;
   const void* array = nullptr;

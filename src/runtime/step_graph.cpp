@@ -1,6 +1,8 @@
 #include "runtime/step_graph.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <tuple>
 
 namespace chaos {
 
@@ -26,6 +28,172 @@ Step& StepGraph::step(std::string name) {
   return steps_.back();
 }
 
+void Step::bind_view(views::Binding b) {
+  CHAOS_CHECK(!resolved_,
+              "step '" + name_ + "': bind() after the graph started "
+              "executing — declare every access before the first advance");
+  const char* label = lang::to_string(b.decl.kind);
+  switch (b.decl.kind) {
+    case lang::AccessKind::kGather:
+    case lang::AccessKind::kScatter:
+    case lang::AccessKind::kScatterAdd: {
+      CHAOS_CHECK(b.has_via,
+                  "step '" + name_ + "': " + label + "(" +
+                      (b.name.empty() ? "..." : b.name) +
+                      ") needs .via(schedule) when bound to a step (only "
+                      "forall may omit it)");
+      CommAccess a;
+      a.decl = b.decl;
+      a.via = b.via;
+      a.prepare = std::move(b.prepare);
+      a.post = std::move(b.post);
+      a.name = std::move(b.name);
+      a.revision = std::move(b.revision);
+      a.expected_revision = a.revision ? a.revision() : 0;
+      a.zeroes_ghosts = b.zeroes_ghosts;
+      if (b.decl.kind == lang::AccessKind::kGather)
+        view_gathers_.push_back(std::move(a));
+      else
+        view_writes_.push_back(std::move(a));
+      break;
+    }
+    case lang::AccessKind::kMigrate: {
+      CommAccess a;
+      a.decl = b.decl;
+      a.post = std::move(b.post);
+      a.name = std::move(b.name);
+      a.migrate_dest = b.migrate_dest;
+      view_writes_.push_back(std::move(a));
+      break;
+    }
+    case lang::AccessKind::kLocalRead:
+    case lang::AccessKind::kLocalWrite: {
+      LocalAccess l;
+      l.decl = b.decl;
+      l.name = std::move(b.name);
+      l.revision = std::move(b.revision);
+      l.expected_revision = l.revision ? l.revision() : 0;
+      view_locals_.push_back(std::move(l));
+      break;
+    }
+  }
+}
+
+std::string Step::render_accesses(
+    const std::vector<CommAccess>& comm,
+    const std::vector<LocalAccess>& locals) const {
+  // Names live on view entries only; recover them for hand-declared
+  // entries by matching container addresses against every known binding.
+  const auto name_of = [&](const void* array) -> std::string {
+    for (const auto* list : {&gathers_, &writes_, &view_gathers_,
+                             &view_writes_}) {
+      for (const CommAccess& a : *list)
+        if (!a.name.empty() && a.decl.touches(array)) return a.name;
+    }
+    for (const auto* list : {&locals_, &view_locals_}) {
+      for (const LocalAccess& l : *list)
+        if (!l.name.empty() && l.decl.array == array) return l.name;
+    }
+    std::ostringstream os;
+    os << array;
+    return os.str();
+  };
+  std::vector<std::string> parts;
+  for (const CommAccess& a : comm) {
+    std::string p = std::string(lang::to_string(a.decl.kind)) + "(" +
+                    name_of(a.decl.array) + ")";
+    if (a.decl.kind != lang::AccessKind::kMigrate)
+      p += ".via(s" + std::to_string(a.via.id) + ")";
+    parts.push_back(std::move(p));
+  }
+  for (const LocalAccess& l : locals)
+    parts.push_back(std::string(lang::to_string(l.decl.kind)) + "(" +
+                    name_of(l.decl.array) + ")");
+  std::sort(parts.begin(), parts.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ", ";
+    out += parts[i];
+  }
+  return out + "}";
+}
+
+void Step::resolve() {
+  if (resolved_) return;
+  resolved_ = true;
+  const bool has_view =
+      !view_gathers_.empty() || !view_writes_.empty() || !view_locals_.empty();
+  const bool has_decl =
+      !gathers_.empty() || !writes_.empty() || !locals_.empty();
+  if (has_view && has_decl) {
+    // The escape-hatch contract: hand-declared sets are a redundant
+    // statement of what the views already infer — they must agree exactly
+    // (kind, container(s), schedule, migrate destinations), or the
+    // declaration has drifted from the data access and the graph refuses
+    // to arm.
+    using Key =
+        std::tuple<int, const void*, const void*, const void*, std::uint32_t>;
+    const auto keys = [](const std::vector<CommAccess>& comm,
+                         const std::vector<LocalAccess>& locals) {
+      std::vector<Key> ks;
+      for (const CommAccess& a : comm)
+        ks.emplace_back(static_cast<int>(a.decl.kind), a.decl.array,
+                        a.decl.array2, a.migrate_dest,
+                        a.decl.kind == lang::AccessKind::kMigrate ? 0
+                                                                  : a.via.id);
+      for (const LocalAccess& l : locals)
+        ks.emplace_back(static_cast<int>(l.decl.kind), l.decl.array, nullptr,
+                        nullptr, 0u);
+      std::sort(ks.begin(), ks.end());
+      return ks;
+    };
+    if (keys(gathers_, locals_) != keys(view_gathers_, view_locals_) ||
+        keys(writes_, {}) != keys(view_writes_, {})) {
+      throw Error("step '" + name_ +
+                  "': hand-declared access sets disagree with the sets "
+                  "inferred from bound views — declared " +
+                  render_accesses(gathers_, locals_) + " + writes " +
+                  render_accesses(writes_, {}) + " vs inferred " +
+                  render_accesses(view_gathers_, view_locals_) +
+                  " + writes " + render_accesses(view_writes_, {}) +
+                  "; fix one side (or drop the redundant declaration)");
+    }
+  }
+  if (has_view) {
+    // Adopt the view lists: identical access sets when hand declarations
+    // were present, and they carry the richer metadata (names, retarget
+    // revision guards).
+    gathers_ = std::move(view_gathers_);
+    writes_ = std::move(view_writes_);
+    locals_ = std::move(view_locals_);
+    view_gathers_.clear();
+    view_writes_.clear();
+    view_locals_.clear();
+  }
+  // A self-managing accumulator (sum over Array / writes_add over
+  // DistributedArray) zeroes the ghost region just before the compute —
+  // gathering the SAME array in the same step would have those ghost
+  // slots hold gathered values and zeroed accumulation at once, and the
+  // zeroing would win. Refuse rather than silently wipe the gather; use
+  // the raw-vector convention (the compute owns ghost zeroing) or split
+  // the accesses across steps.
+  for (const CommAccess& w : writes_) {
+    if (!w.zeroes_ghosts) continue;
+    for (const CommAccess& g : gathers_) {
+      if (g.decl.array == w.decl.array) {
+        throw Error(
+            "step '" + name_ + "': array '" +
+            (w.name.empty() ? "<unnamed>" : w.name) +
+            "' is gathered (in/reads) and bound as a self-zeroing "
+            "accumulator (sum/writes_add) in the same step — its ghost "
+            "slots cannot hold both the gathered values and the zeroed "
+            "accumulation. Use a raw std::vector binding (the compute "
+            "owns ghost zeroing) or separate steps");
+      }
+    }
+  }
+}
+
 Step* StepGraph::find(std::string_view name) {
   for (Step& s : steps_)
     if (s.name_ == name) return &s;
@@ -44,7 +212,7 @@ std::vector<const void*> StepGraph::compute_touch(const Step& s) const {
   // its own write accesses will pack from.
   std::vector<const void*> arrays;
   for (const Step::CommAccess& g : s.gathers_) arrays.push_back(g.decl.array);
-  for (const lang::AccessDecl& d : s.locals_) arrays.push_back(d.array);
+  for (const Step::LocalAccess& l : s.locals_) arrays.push_back(l.decl.array);
   for (const Step::CommAccess& w : s.writes_) {
     arrays.push_back(w.decl.array);
     if (w.decl.array2) arrays.push_back(w.decl.array2);
@@ -61,8 +229,8 @@ bool StepGraph::step_blocks_hoist(const Step& s,
   // ghost region a scatter packs) matter too — the hoisted gather's early
   // FIFO delivery would hand them ghost values one write fresher than the
   // eager schedule does.
-  for (const lang::AccessDecl& d : s.locals_)
-    if (touches_any(d, arrays)) return true;
+  for (const Step::LocalAccess& l : s.locals_)
+    if (touches_any(l.decl, arrays)) return true;
   for (const Step::CommAccess& w : s.writes_)
     if (touches_any(w.decl, arrays)) return true;
   return false;
@@ -79,9 +247,22 @@ bool StepGraph::pending_write_touching(
 }
 
 void StepGraph::check_bindings() const {
+  const auto check_revision = [](const std::string& step,
+                                 const std::string& array,
+                                 const std::function<std::uint64_t()>& probe,
+                                 std::uint64_t expected) {
+    if (!probe) return;
+    CHAOS_CHECK(probe() == expected,
+                "step graph: step '" + step + "' is bound to array '" +
+                    array +
+                    "', which was retargeted onto another epoch after the "
+                    "binding — retarget() the graph onto the new epoch's "
+                    "schedules (arrays first, then the graph)");
+  };
   for (const Step& s : steps_) {
     for (const auto* list : {&s.gathers_, &s.writes_}) {
       for (const Step::CommAccess& a : *list) {
+        check_revision(s.name_, a.name, a.revision, a.expected_revision);
         if (a.decl.kind == lang::AccessKind::kMigrate) continue;
         CHAOS_CHECK(rt_.valid(a.via),
                     "step graph: step '" + s.name_ +
@@ -90,6 +271,8 @@ void StepGraph::check_bindings() const {
                         "retarget() after a repartition/re-derivation");
       }
     }
+    for (const Step::LocalAccess& l : s.locals_)
+      check_revision(s.name_, l.name, l.revision, l.expected_revision);
   }
 }
 
@@ -204,6 +387,7 @@ void StepGraph::wait_conflicting_writes(
 
 void StepGraph::advance(bool arm_next_iteration) {
   CHAOS_CHECK(!steps_.empty(), "step graph has no steps");
+  for (Step& s : steps_) s.resolve();
   check_bindings();
   ++stats_.iterations;
   for (std::size_t k = 0; k < steps_.size(); ++k) {
@@ -243,12 +427,18 @@ void StepGraph::quiesce() {
 void StepGraph::retarget(ScheduleHandle from, ScheduleHandle to) {
   quiesce();
   for (Step& s : steps_) {
+    s.resolve();
     for (auto* list : {&s.gathers_, &s.writes_}) {
       for (Step::CommAccess& a : *list) {
+        // Re-arming onto the successor epoch accepts the arrays' current
+        // binding revisions (Array<T>::retarget before graph retarget).
+        if (a.revision) a.expected_revision = a.revision();
         if (a.decl.kind == lang::AccessKind::kMigrate) continue;
         if (a.via == from) a.via = to;
       }
     }
+    for (Step::LocalAccess& l : s.locals_)
+      if (l.revision) l.expected_revision = l.revision();
   }
   ++stats_.retargets;
 }

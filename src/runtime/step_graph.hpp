@@ -60,6 +60,7 @@
 
 #include "comm/engine.hpp"
 #include "lang/access.hpp"
+#include "lang/array.hpp"
 #include "runtime/runtime.hpp"
 
 namespace chaos {
@@ -69,6 +70,16 @@ class StepGraph;
 /// One declared step: communication accesses around one compute callback.
 /// Created by StepGraph::step(); references into it stay valid for the
 /// graph's lifetime.
+///
+/// Two ways to state the accesses:
+///   - typed views (preferred): bind(in(x).via(h), sum(f).via(h), ...) —
+///     the lang::Access sets are INFERRED from the bindings, and the bound
+///     Array/vector doubles as the gather/scatter buffer;
+///   - hand declarations (the low-level escape hatch): reads/writes/
+///     writes_add/migrates/uses/updates.
+/// A step may carry both; they must then describe the same access sets or
+/// the graph refuses to arm (the declaration check a compiler would get
+/// for free from seeing the loop body).
 class Step {
  public:
   /// Passkey: only StepGraph can create Steps (via StepGraph::step), but
@@ -84,7 +95,20 @@ class Step {
 
   const std::string& name() const { return name_; }
 
-  // ---- communication accesses ---------------------------------------
+  // ---- typed view bindings (access sets inferred) ---------------------
+
+  /// Bind one or more array views into this step: in(x).via(h) becomes a
+  /// pre-compute gather, out/sum(x).via(h) a post-compute scatter /
+  /// scatter-add, migrate(items).to(d).into(o) a post-compute migration,
+  /// use(x)/update(x) local effects. Communication views bound to a step
+  /// must carry .via(schedule) (only forall may omit it).
+  template <typename... Bs>
+  Step& bind(Bs&&... bs) {
+    (bind_view(views::Binding(std::forward<Bs>(bs))), ...);
+    return *this;
+  }
+
+  // ---- hand-declared communication accesses ---------------------------
 
   /// Gather `data`'s off-processor ghosts through `via` before the
   /// compute. The container must be sized to the schedule's extent.
@@ -151,6 +175,7 @@ class Step {
     CommAccess a;
     a.decl = {lang::AccessKind::kScatterAdd, &acc, nullptr};
     a.via = via;
+    a.zeroes_ghosts = true;
     a.prepare = [&acc](Runtime& rt, ScheduleHandle h) {
       const GlobalIndex extent = rt.extent(h);
       acc.ensure_extent(extent);
@@ -171,6 +196,7 @@ class Step {
                  std::vector<T>& out) {
     CommAccess a;
     a.decl = {lang::AccessKind::kMigrate, &items, &out};
+    a.migrate_dest = &dest_procs;
     a.post = [&items, &dest_procs, &out](Runtime& rt, ScheduleHandle) {
       CHAOS_CHECK(dest_procs.size() == items.size(),
                   "migrates: one destination rank per item");
@@ -186,7 +212,10 @@ class Step {
   /// Declare that the compute callback reads `array` (no communication).
   template <typename C>
   Step& uses(const C& array) {
-    locals_.push_back({lang::AccessKind::kLocalRead, &array, nullptr});
+    locals_.push_back({{lang::AccessKind::kLocalRead, &array, nullptr},
+                       std::string{},
+                       nullptr,
+                       0});
     return *this;
   }
 
@@ -195,7 +224,10 @@ class Step {
   /// it is what keeps their gathers from being hoisted across the write.
   template <typename C>
   Step& updates(C& array) {
-    locals_.push_back({lang::AccessKind::kLocalWrite, &array, nullptr});
+    locals_.push_back({{lang::AccessKind::kLocalWrite, &array, nullptr},
+                       std::string{},
+                       nullptr,
+                       0});
     return *this;
   }
 
@@ -230,13 +262,50 @@ class Step {
     /// just before the compute (accumulator sizing / zeroing).
     std::function<void(Runtime&, ScheduleHandle)> prepare;
     std::function<comm::CommHandle(Runtime&, ScheduleHandle)> post;
+    /// View-carried metadata: registered array name (errors / messages)
+    /// and the Array binding-revision probe + snapshot guarding against a
+    /// retargeted Array driven through a stale binding.
+    std::string name;
+    std::function<std::uint64_t()> revision;
+    std::uint64_t expected_revision = 0;
+    /// The prepare zeroes the ghost region (self-managing accumulators:
+    /// sum over Array / writes_add over DistributedArray). Resolve
+    /// rejects combining one with a gather of the same array in the same
+    /// step — the ghost slots cannot hold both.
+    bool zeroes_ghosts = false;
+    /// Migrate accesses: destination-ranks container, part of the
+    /// hand-declared-vs-inferred agreement identity.
+    const void* migrate_dest = nullptr;
   };
+
+  struct LocalAccess {
+    lang::AccessDecl decl;
+    std::string name;
+    std::function<std::uint64_t()> revision;
+    std::uint64_t expected_revision = 0;
+  };
+
+  /// Route one type-erased view binding into the staging lists.
+  void bind_view(views::Binding b);
+  /// First-advance resolution: adopt the inferred sets, or — when hand
+  /// declarations are also present — verify they agree and keep the view
+  /// lists (richer metadata, identical access sets). Idempotent; throws
+  /// chaos::Error on disagreement.
+  void resolve();
+  /// Render one side's access set for the disagreement error.
+  std::string render_accesses(const std::vector<CommAccess>& comm,
+                              const std::vector<LocalAccess>& locals) const;
 
   std::string name_;
   std::size_t idx_;
   std::vector<CommAccess> gathers_;  ///< pre-compute communication
   std::vector<CommAccess> writes_;   ///< post-compute communication
-  std::vector<lang::AccessDecl> locals_;
+  std::vector<LocalAccess> locals_;
+  /// View-inferred staging, folded into the lists above by resolve().
+  std::vector<CommAccess> view_gathers_;
+  std::vector<CommAccess> view_writes_;
+  std::vector<LocalAccess> view_locals_;
+  bool resolved_ = false;
   std::function<void()> compute_;
   std::function<void()> finalize_;
 

@@ -71,8 +71,9 @@ TEST(Figure6, ScheduleAFetches7And9) {
   m.run([](Comm& comm) {
     Fig6 f = setup_figure6(comm);
     Schedule s = build_schedule(comm, f.hash, StampExpr::only(f.a));
-    if (comm.rank() == 1)
+    if (comm.rank() == 1) {
       EXPECT_EQ(fetched_globals_rank1(s), (std::vector<GlobalIndex>{6, 8}));
+    }
     if (comm.rank() == 0) {
       EXPECT_EQ(s.recv_total(0), 2);
       EXPECT_EQ(s.send_total(0), 0);
@@ -85,8 +86,9 @@ TEST(Figure6, ScheduleBFetches7And8) {
   m.run([](Comm& comm) {
     Fig6 f = setup_figure6(comm);
     Schedule s = build_schedule(comm, f.hash, StampExpr::only(f.b));
-    if (comm.rank() == 1)
+    if (comm.rank() == 1) {
       EXPECT_EQ(fetched_globals_rank1(s), (std::vector<GlobalIndex>{6, 7}));
+    }
   });
 }
 
@@ -96,8 +98,9 @@ TEST(Figure6, IncrementalScheduleBMinusAFetchesOnly8) {
     Fig6 f = setup_figure6(comm);
     Schedule s =
         build_schedule(comm, f.hash, StampExpr::incremental(f.b, f.a));
-    if (comm.rank() == 1)
+    if (comm.rank() == 1) {
       EXPECT_EQ(fetched_globals_rank1(s), (std::vector<GlobalIndex>{7}));
+    }
   });
 }
 
@@ -107,10 +110,13 @@ TEST(Figure6, MergedScheduleFetchesAllFour) {
     Fig6 f = setup_figure6(comm);
     Schedule s =
         build_schedule(comm, f.hash, StampExpr::merged({f.a, f.b, f.c}));
-    if (comm.rank() == 1)
+    if (comm.rank() == 1) {
       EXPECT_EQ(fetched_globals_rank1(s),
                 (std::vector<GlobalIndex>{6, 8, 7, 9}));
-    if (comm.rank() == 0) EXPECT_EQ(s.recv_total(0), 4);
+    }
+    if (comm.rank() == 0) {
+      EXPECT_EQ(s.recv_total(0), 4);
+    }
   });
 }
 

@@ -216,7 +216,9 @@ TEST(ForallReduceSum, RepeatedExecutionsDoNotDoubleCount) {
                         [&](std::span<const GlobalIndex> lrefs) {
                           for (GlobalIndex j : lrefs) x[j] += 1.0;
                         });
-      if (c.rank() == 0) EXPECT_EQ(x[0], 2.0) << "step " << step;
+      if (c.rank() == 0) {
+        EXPECT_EQ(x[0], 2.0) << "step " << step;
+      }
     }
     EXPECT_EQ(cache.stats().builds, 1u);
     EXPECT_EQ(cache.stats().reuses, 2u);

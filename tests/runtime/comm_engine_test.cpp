@@ -198,7 +198,9 @@ TEST(RuntimeCommEngine, WaitOnCompletedHandleIsIdempotent) {
     // completed at post time, and both waits returned without hanging the
     // machine-wide flush discipline. Rank 0's ghosts arrived exactly once:
     // global 6 lands in the first ghost slot.
-    if (comm.rank() == 0) EXPECT_EQ(x[5], 6.0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(x[5], 6.0);
+    }
   });
 }
 

@@ -347,7 +347,9 @@ TEST(CrossEpochReuse, TailMoveCarriesTranslationsAndPatchesSchedule) {
     EXPECT_EQ(hot.hash_stats(ndh).translations, 0u);
     // Only rank 0 has references in this scenario, so only its table
     // carries entries forward.
-    if (comm.rank() == 0) EXPECT_GT(hot.hash_stats(ndh).reused_homes, 0u);
+    if (comm.rank() == 0) {
+      EXPECT_GT(hot.hash_stats(ndh).reused_homes, 0u);
+    }
   });
 }
 
@@ -381,7 +383,9 @@ TEST(CrossEpochReuse, LoopTouchingMovedElementRebuildsSchedule) {
     EXPECT_EQ(rs.rebuilt_schedules, 1u);
     // Only the moved element was re-translated; 0/6/8 carried forward.
     // (Rank 1 references nothing, so machine-wide the count is rank 0's.)
-    if (comm.rank() == 0) EXPECT_EQ(rs.seed_translations, 1u);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(rs.seed_translations, 1u);
+    }
 
     const ScheduleHandle nsh = hot.inspect(hot.bind(ndh, ind));
     const ScheduleHandle nsc = cold.inspect(cold.bind(ndc, ind));

@@ -89,7 +89,9 @@ TEST(RuntimeFigure6, MergedAndIncrementalMatchGoldens) {
       EXPECT_EQ(fetched_globals_rank1(rt.schedule(merged)),
                 (std::vector<GlobalIndex>{6, 8, 7, 9}));
     }
-    if (comm.rank() == 0) EXPECT_EQ(rt.schedule(merged).recv_total(0), 4);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(rt.schedule(merged).recv_total(0), 4);
+    }
   });
 }
 
@@ -375,7 +377,9 @@ TEST(RuntimeLoop, RepeatedRunsReuseInspectorAndDoNotDoubleCount) {
           [&](std::span<const GlobalIndex> lrefs) {
             for (GlobalIndex j : lrefs) x[j] += 1.0;
           });
-      if (comm.rank() == 0) EXPECT_EQ(x[0], 2.0) << "step " << step;
+      if (comm.rank() == 0) {
+        EXPECT_EQ(x[0], 2.0) << "step " << step;
+      }
     }
     EXPECT_EQ(rt.registry_stats(d).builds, 1u);
     EXPECT_EQ(rt.registry_stats(d).reuses, 2u);
