@@ -14,6 +14,10 @@
 //   --partitioner=NAME    override the (re)partitioner
 //                         (rcb | rib | chain | block) — honored by the
 //                         CHARMM tables; table5 sweeps partitioners itself
+//   --pattern=NAME        pin one reference pattern
+//                         (sorted | banded | random | hypergraph) — honored
+//                         by fig6_hash_schedule and table9_schedule_compile;
+//                         both sweep all patterns when it is absent
 //
 // Unknown values raise chaos::Error listing the accepted spellings;
 // unknown flags are ignored (benches historically tolerate extra argv).
@@ -51,6 +55,29 @@ inline dsmc::DsmcExecutor dsmc_executor_from(const std::string& name) {
               "' (step_graph | step_graph_eager | imperative)");
 }
 
+/// Reference-pattern families the schedule-compilation benches sweep: how
+/// much run structure the indirection array leaves in the schedules.
+enum class Pattern { kSorted, kBanded, kRandom, kHypergraph };
+
+inline Pattern pattern_from(const std::string& name) {
+  if (name == "sorted") return Pattern::kSorted;
+  if (name == "banded") return Pattern::kBanded;
+  if (name == "random") return Pattern::kRandom;
+  if (name == "hypergraph") return Pattern::kHypergraph;
+  throw Error("unknown --pattern '" + name +
+              "' (sorted | banded | random | hypergraph)");
+}
+
+inline const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kSorted: return "sorted";
+    case Pattern::kBanded: return "banded";
+    case Pattern::kRandom: return "random";
+    case Pattern::kHypergraph: return "hypergraph";
+  }
+  return "?";
+}
+
 inline core::PartitionerKind partitioner_from(const std::string& name) {
   if (name == "rcb") return core::PartitionerKind::kRcb;
   if (name == "rib") return core::PartitionerKind::kRib;
@@ -66,6 +93,7 @@ struct Options {
   std::optional<charmm::CharmmShape> shape;
   std::optional<dsmc::DsmcExecutor> executor;
   std::optional<core::PartitionerKind> partitioner;
+  std::optional<Pattern> pattern;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -84,6 +112,8 @@ struct Options {
         o.executor = dsmc_executor_from(v);
       } else if (const char* v = value_of(argv[i], "--partitioner")) {
         o.partitioner = partitioner_from(v);
+      } else if (const char* v = value_of(argv[i], "--pattern")) {
+        o.pattern = pattern_from(v);
       }
     }
     return o;

@@ -1,0 +1,107 @@
+// Reference-pattern generators shared by the schedule-compilation benches
+// (table9_schedule_compile; fig6_hash_schedule --pattern=...).
+//
+// Each generator produces one rank's indirection array over an n-element
+// block-distributed data array. The four families span the regularity
+// spectrum schedule compilation exploits:
+//
+//   sorted      one ascending contiguous window straddling the rank's block
+//               boundary (a sorted mesh after reordering) — schedules lower
+//               to almost pure memcpy runs
+//   banded      constant-stride sweeps near the diagonal (a banded matrix) —
+//               strided runs, no contiguous ones
+//   random      uniform references (the paper's unstructured worst case) —
+//               almost everything lands in the residue
+//   hypergraph  small clustered nets at random positions (circuit netlists)
+//               — short accidental runs, heavy residue
+//
+// Generators are deterministic in (pattern, rank, seed) so every arm of a
+// bench inspects the identical reference stream.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "args.hpp"
+#include "core/translation_table.hpp"
+#include "util/rng.hpp"
+
+namespace chaos::bench {
+
+using core::GlobalIndex;
+
+/// The top `kReservedTop` global indices [n - kReservedTop, n) are never
+/// referenced by the generators. The table9 repartition phase moves only
+/// these elements (its probe loop is the sole loop referencing them);
+/// because they are the globally-highest elements, moving them appends
+/// slots at the gaining rank and truncates the losing rank's tail without
+/// shifting any other element's local offset — so the main pattern loop
+/// stays home-stable machine-wide and its schedule, and compiled plan, can
+/// be carried across the repartition.
+inline constexpr GlobalIndex kReservedTop = 16;
+
+/// `m` references for `rank` of `nranks` over `n` block-distributed
+/// elements.
+inline std::vector<GlobalIndex> pattern_refs(Pattern p, int rank, int nranks,
+                                             GlobalIndex n, std::size_t m,
+                                             std::uint64_t seed) {
+  CHAOS_CHECK(n > kReservedTop + static_cast<GlobalIndex>(nranks));
+  const GlobalIndex lo = 0;
+  const GlobalIndex span = n - kReservedTop;
+  const GlobalIndex block = (n + nranks - 1) / nranks;
+  const GlobalIndex own_begin = block * rank;
+  Rng rng(seed * 1000003ULL + static_cast<std::uint64_t>(rank));
+
+  std::vector<GlobalIndex> refs;
+  refs.reserve(m);
+  switch (p) {
+    case Pattern::kSorted: {
+      // Ascending window centered on the block's upper boundary, so about
+      // half the references are owned and half fetch from the next rank.
+      CHAOS_CHECK(span >= static_cast<GlobalIndex>(m));
+      GlobalIndex start = own_begin + block - static_cast<GlobalIndex>(m) / 2;
+      start = std::max(lo, std::min(start, span - static_cast<GlobalIndex>(m)));
+      for (std::size_t j = 0; j < m; ++j)
+        refs.push_back(start + static_cast<GlobalIndex>(j));
+      break;
+    }
+    case Pattern::kBanded: {
+      // Stride-4 sweeps of 64 elements apiece, each starting at a random
+      // diagonal position: constant-stride runs, nothing contiguous.
+      const GlobalIndex stride = 4, run = 64;
+      while (refs.size() < m) {
+        const GlobalIndex reach = span - run * stride;
+        GlobalIndex base =
+            lo + static_cast<GlobalIndex>(rng.below(
+                     static_cast<std::uint64_t>(reach)));
+        for (GlobalIndex k = 0; k < run && refs.size() < m; ++k)
+          refs.push_back(base + k * stride);
+      }
+      break;
+    }
+    case Pattern::kRandom: {
+      for (std::size_t j = 0; j < m; ++j)
+        refs.push_back(lo + static_cast<GlobalIndex>(rng.below(
+                                static_cast<std::uint64_t>(span))));
+      break;
+    }
+    case Pattern::kHypergraph: {
+      // Nets of six pins drawn from an eight-element cluster at a random
+      // position — locally dense, globally unordered.
+      const GlobalIndex cluster = 8;
+      while (refs.size() < m) {
+        GlobalIndex base =
+            lo + static_cast<GlobalIndex>(rng.below(
+                     static_cast<std::uint64_t>(span - cluster)));
+        for (int pin = 0; pin < 6 && refs.size() < m; ++pin)
+          refs.push_back(base +
+                         static_cast<GlobalIndex>(rng.below(
+                             static_cast<std::uint64_t>(cluster))));
+      }
+      break;
+    }
+  }
+  return refs;
+}
+
+}  // namespace chaos::bench

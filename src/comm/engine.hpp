@@ -55,6 +55,7 @@
 #include <span>
 #include <vector>
 
+#include "compile/schedule_plan.hpp"
 #include "core/costs.hpp"
 #include "core/lightweight.hpp"
 #include "core/schedule.hpp"
@@ -86,36 +87,47 @@ class Engine {
   /// Forward execution between two arrays (remap shape): read src at send
   /// indices, deliver, place incoming at dst recv indices. Self-blocks are
   /// copied at post time.
+  ///
+  /// When `plan` (the schedule's compiled form, compile/schedule_plan.hpp)
+  /// is non-null, pack and unpack run through segment ops instead of the
+  /// per-element indexed loops — bitwise-identical results, bulk-copy
+  /// charges. The plan must lower exactly `sched` and, like the schedule,
+  /// stay valid until the operation completes.
   template <typename T>
   CommHandle post_transport(const core::Schedule& sched,
-                            std::span<const T> src, std::span<T> dst);
+                            std::span<const T> src, std::span<T> dst,
+                            const compile::SchedulePlan* plan = nullptr);
 
   /// Gather: fetch off-processor elements into the ghost region of `data`
   /// (which spans owned + ghost).
   template <typename T>
-  CommHandle post_gather(const core::Schedule& sched, std::span<T> data) {
-    return post_transport<T>(sched, data, data);
+  CommHandle post_gather(const core::Schedule& sched, std::span<T> data,
+                         const compile::SchedulePlan* plan = nullptr) {
+    return post_transport<T>(sched, data, data, plan);
   }
 
   /// Transpose execution with a combiner: ship ghost values back to owners;
   /// each owner applies `combine(owned, incoming)` at the original send
-  /// indices.
+  /// indices. Same compiled-path contract as post_transport.
   template <typename T, typename Combine>
   CommHandle post_scatter_op(const core::Schedule& sched, std::span<T> data,
-                             Combine combine);
+                             Combine combine,
+                             const compile::SchedulePlan* plan = nullptr);
 
   template <typename T>
-  CommHandle post_scatter(const core::Schedule& sched, std::span<T> data) {
+  CommHandle post_scatter(const core::Schedule& sched, std::span<T> data,
+                          const compile::SchedulePlan* plan = nullptr) {
     return post_scatter_op<T>(
-        sched, data, [](const T&, const T& incoming) { return incoming; });
+        sched, data, [](const T&, const T& incoming) { return incoming; },
+        plan);
   }
 
   template <typename T>
-  CommHandle post_scatter_add(const core::Schedule& sched,
-                              std::span<T> data) {
+  CommHandle post_scatter_add(const core::Schedule& sched, std::span<T> data,
+                              const compile::SchedulePlan* plan = nullptr) {
     return post_scatter_op<T>(
         sched, data,
-        [](const T& own, const T& incoming) { return own + incoming; });
+        [](const T& own, const T& incoming) { return own + incoming; }, plan);
   }
 
   /// Light-weight migration: move `items` per the schedule, appending every
@@ -284,7 +296,8 @@ class Engine {
 
 template <typename T>
 CommHandle Engine::post_transport(const core::Schedule& sched,
-                                  std::span<const T> src, std::span<T> dst) {
+                                  std::span<const T> src, std::span<T> dst,
+                                  const compile::SchedulePlan* plan) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int me = comm_.rank();
   const std::uint32_t batch_id = open_batch();
@@ -292,30 +305,47 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
   ops_.emplace_back();
   Batch& b = batches_[batch_id];
 
+  if (plan != nullptr)
+    CHAOS_CHECK(plan->send().size() == sched.send_blocks().size() &&
+                    plan->recv().size() == sched.recv_blocks().size(),
+                "compiled plan does not lower this schedule");
+
   const core::ScheduleBlock* self_send = nullptr;
   const core::ScheduleBlock* self_recv = nullptr;
 
   std::vector<T> buf;
-  for (const auto& blk : sched.send_blocks()) {
+  for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
+    const auto& blk = sched.send_blocks()[bi];
     if (blk.proc == me) {
       self_send = &blk;
       continue;
     }
-    buf.clear();
-    buf.reserve(blk.indices.size());
-    for (GlobalIndex i : blk.indices) {
-      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
-                  "schedule send index outside source array");
-      buf.push_back(src[static_cast<std::size_t>(i)]);
+    if (plan != nullptr) {
+      const compile::BlockPlan& bp = plan->send()[bi];
+      CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
+                  "compiled plan does not lower this schedule");
+      buf.resize(blk.indices.size());
+      compile::pack_block<T>(bp, src, buf.data());
+      comm_.charge_work(compile::block_work(bp, sizeof(T)));
+    } else {
+      buf.clear();
+      buf.reserve(blk.indices.size());
+      for (GlobalIndex i : blk.indices) {
+        CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
+                    "schedule send index outside source array");
+        buf.push_back(src[static_cast<std::size_t>(i)]);
+      }
+      comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
     }
-    comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
     stage_out(b, blk.proc,
               {reinterpret_cast<const std::byte*>(buf.data()),
                buf.size() * sizeof(T)});
   }
 
-  std::vector<const core::ScheduleBlock*> in_blocks;  // post order
-  for (const auto& blk : sched.recv_blocks()) {
+  std::vector<const core::ScheduleBlock*> in_blocks;   // post order
+  std::vector<const compile::BlockPlan*> in_plans;     // parallel, may be null
+  for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
+    const auto& blk = sched.recv_blocks()[bi];
     if (blk.proc == me) {
       self_recv = &blk;
       continue;
@@ -324,6 +354,7 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
               static_cast<std::uint32_t>(in_blocks.size()),
               blk.indices.size() * sizeof(T));
     in_blocks.push_back(&blk);
+    in_plans.push_back(plan != nullptr ? &plan->recv()[bi] : nullptr);
   }
 
   // Self-block: straight copy at post time, no messages.
@@ -345,9 +376,15 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
   Op& op = ops_[id];
   op.batch = batch_id;
   if (op.remaining > 0) {
-    op.unpack = [this, blocks = std::move(in_blocks), dst_data = dst.data(),
+    op.unpack = [this, blocks = std::move(in_blocks),
+                 plans = std::move(in_plans), dst_data = dst.data(),
                  dst_size = dst.size()](std::uint32_t part,
                                         std::span<const std::byte> bytes) {
+      if (const compile::BlockPlan* bp = plans[part]; bp != nullptr) {
+        compile::place_block<T>(*bp, bytes, std::span<T>{dst_data, dst_size});
+        comm_.charge_work(compile::block_work(*bp, sizeof(T)));
+        return;
+      }
       const core::ScheduleBlock* blk = blocks[part];
       CHAOS_CHECK(bytes.size() == blk->indices.size() * sizeof(T),
                   "incoming segment size does not match schedule");
@@ -367,7 +404,8 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
 
 template <typename T, typename Combine>
 CommHandle Engine::post_scatter_op(const core::Schedule& sched,
-                                   std::span<T> data, Combine combine) {
+                                   std::span<T> data, Combine combine,
+                                   const compile::SchedulePlan* plan) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int me = comm_.rank();
   const std::uint32_t batch_id = open_batch();
@@ -375,37 +413,63 @@ CommHandle Engine::post_scatter_op(const core::Schedule& sched,
   ops_.emplace_back();
   Batch& b = batches_[batch_id];
 
+  if (plan != nullptr)
+    CHAOS_CHECK(plan->send().size() == sched.send_blocks().size() &&
+                    plan->recv().size() == sched.recv_blocks().size(),
+                "compiled plan does not lower this schedule");
+
   std::vector<T> buf;
-  for (const auto& blk : sched.recv_blocks()) {
+  for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
+    const auto& blk = sched.recv_blocks()[bi];
     CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
-    buf.clear();
-    buf.reserve(blk.indices.size());
-    for (GlobalIndex i : blk.indices) {
-      CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
-      buf.push_back(data[static_cast<std::size_t>(i)]);
+    if (plan != nullptr) {
+      const compile::BlockPlan& bp = plan->recv()[bi];
+      CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
+                  "compiled plan does not lower this schedule");
+      buf.resize(blk.indices.size());
+      compile::pack_block<T>(bp, std::span<const T>{data.data(), data.size()},
+                             buf.data());
+      comm_.charge_work(compile::block_work(bp, sizeof(T)));
+    } else {
+      buf.clear();
+      buf.reserve(blk.indices.size());
+      for (GlobalIndex i : blk.indices) {
+        CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
+        buf.push_back(data[static_cast<std::size_t>(i)]);
+      }
+      comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
     }
-    comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
     stage_out(b, blk.proc,
               {reinterpret_cast<const std::byte*>(buf.data()),
                buf.size() * sizeof(T)});
   }
 
   std::vector<const core::ScheduleBlock*> in_blocks;  // post order
-  for (const auto& blk : sched.send_blocks()) {
+  std::vector<const compile::BlockPlan*> in_plans;    // parallel, may be null
+  for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
+    const auto& blk = sched.send_blocks()[bi];
     CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
     expect_in(b, blk.proc, id,
               static_cast<std::uint32_t>(in_blocks.size()),
               blk.indices.size() * sizeof(T));
     in_blocks.push_back(&blk);
+    in_plans.push_back(plan != nullptr ? &plan->send()[bi] : nullptr);
   }
 
   Op& op = ops_[id];
   op.batch = batch_id;
   if (op.remaining > 0) {
-    op.unpack = [this, blocks = std::move(in_blocks), data_ptr = data.data(),
+    op.unpack = [this, blocks = std::move(in_blocks),
+                 plans = std::move(in_plans), data_ptr = data.data(),
                  data_size = data.size(),
                  combine](std::uint32_t part,
                           std::span<const std::byte> bytes) {
+      if (const compile::BlockPlan* bp = plans[part]; bp != nullptr) {
+        compile::combine_block<T>(*bp, bytes,
+                                  std::span<T>{data_ptr, data_size}, combine);
+        comm_.charge_work(compile::block_work(*bp, sizeof(T)));
+        return;
+      }
       const core::ScheduleBlock* blk = blocks[part];
       CHAOS_CHECK(bytes.size() == blk->indices.size() * sizeof(T),
                   "incoming segment size does not match schedule");

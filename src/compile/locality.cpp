@@ -1,0 +1,52 @@
+#include "compile/locality.hpp"
+
+#include "util/check.hpp"
+
+namespace chaos::compile {
+
+std::vector<GlobalIndex> ghost_locality_permutation(
+    GlobalIndex owned, GlobalIndex ghost_count,
+    std::span<const core::Schedule* const> schedules_in_order) {
+  if (ghost_count == 0) return {};
+  std::vector<GlobalIndex> perm(static_cast<std::size_t>(ghost_count), -1);
+  GlobalIndex next = 0;
+  for (const core::Schedule* sched : schedules_in_order) {
+    for (const core::ScheduleBlock& blk : sched->recv_blocks()) {
+      for (GlobalIndex i : blk.indices) {
+        if (i < owned) continue;  // self-block owned landing, not a ghost
+        const GlobalIndex ord = i - owned;
+        CHAOS_CHECK(ord < ghost_count,
+                    "schedule references a ghost slot past the epoch extent");
+        if (perm[static_cast<std::size_t>(ord)] < 0)
+          perm[static_cast<std::size_t>(ord)] = owned + next++;
+      }
+    }
+  }
+  // Unreferenced (dead) slots file in behind, keeping their relative order.
+  for (std::size_t ord = 0; ord < perm.size(); ++ord)
+    if (perm[ord] < 0) perm[ord] = owned + next++;
+  CHAOS_ASSERT(next == ghost_count, "ghost permutation is not a bijection");
+
+  bool identity = true;
+  for (std::size_t ord = 0; ord < perm.size(); ++ord)
+    if (perm[ord] != owned + static_cast<GlobalIndex>(ord)) {
+      identity = false;
+      break;
+    }
+  if (identity) return {};
+  return perm;
+}
+
+void apply_ghost_permutation(std::span<const GlobalIndex> new_slot_of_old,
+                             GlobalIndex owned,
+                             std::span<GlobalIndex> indices) {
+  for (GlobalIndex& i : indices) {
+    if (i < owned) continue;
+    const GlobalIndex ord = i - owned;
+    CHAOS_CHECK(static_cast<std::size_t>(ord) < new_slot_of_old.size(),
+                "index outside the ghost permutation");
+    i = new_slot_of_old[static_cast<std::size_t>(ord)];
+  }
+}
+
+}  // namespace chaos::compile

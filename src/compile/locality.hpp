@@ -1,0 +1,51 @@
+// Locality remap — the bandwidth-reducing ghost reorder that *creates*
+// runs before schedule compilation.
+//
+// Ghost slots are assigned in first-encounter hash order (paper §3.2.2), so
+// a peer's fetched elements land wherever the indirection array happened to
+// mention them first: the recv side of a schedule is an arbitrary
+// permutation and compilation finds only the runs the reference pattern
+// left by accident. This pass renumbers the ghost region so each cached
+// schedule's recv blocks land *consecutively in wire order* — after it,
+// every recv block of the first loop claiming its slots compiles to a
+// single contiguous memcpy, and unpack writes the ghost region front to
+// back (the bandwidth win: streaming stores instead of scattered ones).
+//
+// The tradeoff: slots shared by several loops can be consecutive only for
+// the loop that claims them first (later loops see the residue of earlier
+// claims), and renumbering invalidates ghost data already gathered — run
+// it between inspection and execution, not mid-iteration. Send sides are
+// untouched: they index the *peer's* owned region, which does not move.
+//
+// Purely local (no communication, no collective): only this rank's ghost
+// numbering changes, and peers never see another rank's ghost slots.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace chaos::compile {
+
+using core::GlobalIndex;
+
+/// Compute the ghost renumbering for one epoch: walk `schedules_in_order`
+/// (first-plan order), and within each schedule the recv blocks in stored
+/// (ascending-peer) block order, assigning each ghost slot its new number
+/// at first encounter; slots no live schedule references (dead entries)
+/// keep their relative order after the claimed ones. Returns
+/// new_slot_of_old, indexed by old ghost ordinal (old_local - owned), with
+/// values that are full local indices (>= owned); empty when the
+/// renumbering is the identity (nothing to do).
+std::vector<GlobalIndex> ghost_locality_permutation(
+    GlobalIndex owned, GlobalIndex ghost_count,
+    std::span<const core::Schedule* const> schedules_in_order);
+
+/// Rewrite one index list through the permutation (indices < owned are
+/// owned offsets and pass through unchanged).
+void apply_ghost_permutation(std::span<const GlobalIndex> new_slot_of_old,
+                             GlobalIndex owned,
+                             std::span<GlobalIndex> indices);
+
+}  // namespace chaos::compile

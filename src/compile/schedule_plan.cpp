@@ -1,0 +1,114 @@
+#include "compile/schedule_plan.hpp"
+
+#include <algorithm>
+
+namespace chaos::compile {
+
+namespace {
+
+/// Lower one index list into wire-order segment ops. Scans left to right
+/// emitting maximal constant-stride runs; runs shorter than opt.min_run
+/// (and zero-stride repeats, which a block copy cannot express) fall into
+/// the residue, merged into the preceding residue op when adjacent.
+BlockPlan lower_block(const core::ScheduleBlock& blk, const Options& opt) {
+  BlockPlan out;
+  out.proc = blk.proc;
+  out.count = static_cast<GlobalIndex>(blk.indices.size());
+  const std::vector<GlobalIndex>& idx = blk.indices;
+  if (idx.empty()) return out;
+
+  out.lo = *std::min_element(idx.begin(), idx.end());
+  out.hi = *std::max_element(idx.begin(), idx.end());
+
+  const auto emit_residue = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;
+    if (!out.ops.empty() && out.ops.back().stride == 0) {
+      // Adjacent residue merges: one op, one index-list loop.
+      SegmentOp& prev = out.ops.back();
+      prev.len += static_cast<GlobalIndex>(to - from);
+    } else {
+      out.ops.push_back(
+          SegmentOp{static_cast<GlobalIndex>(out.residue.size()),
+                    static_cast<GlobalIndex>(to - from), 0});
+    }
+    out.residue.insert(out.residue.end(), idx.begin() + from,
+                       idx.begin() + to);
+  };
+
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    // Maximal run starting at i: stride fixed by the first pair.
+    std::size_t j = i + 1;
+    if (j < idx.size()) {
+      const GlobalIndex d = idx[j] - idx[i];
+      if (d != 0)
+        while (j + 1 < idx.size() && idx[j + 1] - idx[j] == d) ++j;
+      else
+        j = i;  // zero stride: not a block copy, leave idx[i] to the residue
+      const GlobalIndex len = static_cast<GlobalIndex>(j - i + 1);
+      if (j > i && len >= opt.min_run) {
+        out.ops.push_back(SegmentOp{idx[i], len, d});
+        i = j + 1;
+        continue;
+      }
+    }
+    emit_residue(i, i + 1);
+    ++i;
+  }
+  return out;
+}
+
+void accumulate(SchedulePlan::Stats& st, const BlockPlan& b) {
+  st.run_ops += static_cast<std::uint64_t>(b.run_ops());
+  st.run_elements += static_cast<std::uint64_t>(b.run_elements());
+  st.residue_elements += b.residue.size();
+  st.total_elements += static_cast<std::uint64_t>(b.count);
+}
+
+}  // namespace
+
+SchedulePlan SchedulePlan::compile(const core::Schedule& sched, Options opt) {
+  CHAOS_CHECK(opt.min_run >= 2, "min_run must be at least 2");
+  SchedulePlan plan;
+  plan.send_.reserve(sched.send_blocks().size());
+  plan.recv_.reserve(sched.recv_blocks().size());
+  for (const core::ScheduleBlock& b : sched.send_blocks()) {
+    plan.send_.push_back(lower_block(b, opt));
+    accumulate(plan.stats_, plan.send_.back());
+  }
+  for (const core::ScheduleBlock& b : sched.recv_blocks()) {
+    plan.recv_.push_back(lower_block(b, opt));
+    accumulate(plan.stats_, plan.recv_.back());
+  }
+  return plan;
+}
+
+SchedulePlan SchedulePlan::carry_patched(const SchedulePlan& prior,
+                                         const core::Schedule& patched,
+                                         Options opt) {
+  CHAOS_CHECK(prior.send_.size() == patched.send_blocks().size(),
+              "carried plan does not match the patched schedule");
+  SchedulePlan plan;
+  plan.send_ = prior.send_;  // send side of a patched schedule is verbatim
+  for (const BlockPlan& b : plan.send_) accumulate(plan.stats_, b);
+  plan.recv_.reserve(patched.recv_blocks().size());
+  for (const core::ScheduleBlock& b : patched.recv_blocks()) {
+    plan.recv_.push_back(lower_block(b, opt));
+    accumulate(plan.stats_, plan.recv_.back());
+  }
+  return plan;
+}
+
+std::size_t SchedulePlan::footprint_bytes() const {
+  std::size_t n = 0;
+  for (const std::vector<BlockPlan>* side : {&send_, &recv_}) {
+    n += side->capacity() * sizeof(BlockPlan);
+    for (const BlockPlan& b : *side) {
+      n += b.ops.capacity() * sizeof(SegmentOp);
+      n += b.residue.capacity() * sizeof(GlobalIndex);
+    }
+  }
+  return n;
+}
+
+}  // namespace chaos::compile

@@ -161,6 +161,22 @@ void IndexHashTable::compact() {
   }
 }
 
+void IndexHashTable::permute_ghosts(
+    std::span<const GlobalIndex> new_slot_of_old) {
+  CHAOS_CHECK(static_cast<GlobalIndex>(new_slot_of_old.size()) ==
+                  next_ghost_slot_,
+              "ghost permutation does not cover the assigned slots");
+  for (Entry& e : entries_) {
+    if (e.local_index < owned_) continue;
+    const GlobalIndex ord = e.local_index - owned_;
+    CHAOS_CHECK(ord < next_ghost_slot_, "ghost slot outside assigned range");
+    const GlobalIndex to = new_slot_of_old[static_cast<std::size_t>(ord)];
+    CHAOS_CHECK(to >= owned_ && to < owned_ + next_ghost_slot_,
+                "ghost permutation value outside the ghost region");
+    e.local_index = to;
+  }
+}
+
 std::size_t IndexHashTable::live_entries() const {
   std::size_t n = 0;
   for (const Entry& e : entries_)

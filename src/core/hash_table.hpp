@@ -105,6 +105,14 @@ class IndexHashTable {
   /// insertion order). Invalidates previously built schedules.
   void compact();
 
+  /// Renumber ghost slots through `new_slot_of_old` (indexed by old ghost
+  /// ordinal, values full local indices >= owned; every assigned slot must
+  /// be covered). Used by the locality remap pass
+  /// (compile/locality.hpp) — the caller is responsible for rewriting the
+  /// recv sides of existing schedules through the same permutation; ghost
+  /// data already gathered is invalidated.
+  void permute_ghosts(std::span<const GlobalIndex> new_slot_of_old);
+
   GlobalIndex owned_count() const { return owned_; }
   /// Ghost-buffer slots assigned so far (including slots of dead entries
   /// until compact()).

@@ -86,6 +86,14 @@ class TranslationTable {
   /// (distributed). Exposed for equivalence testing and delta computation.
   std::span<const Home> homes() const { return homes_; }
 
+  /// Approximate heap footprint of this rank's share of the table (the full
+  /// home array when replicated, one page when distributed), for registry
+  /// memory accounting (Runtime::registry_bytes / compact).
+  std::size_t footprint_bytes() const {
+    return homes_.capacity() * sizeof(Home) +
+           owned_counts_.capacity() * sizeof(GlobalIndex);
+  }
+
   friend bool operator==(const TranslationTable& a,
                          const TranslationTable& b) {
     return a.mode_ == b.mode_ && a.n_ == b.n_ && a.homes_ == b.homes_ &&

@@ -43,26 +43,28 @@ namespace chaos::core {
 /// rank) is copied directly and must be the same length on both sides.
 template <typename T>
 void transport(sim::Comm& comm, const Schedule& sched, std::span<const T> src,
-               std::span<T> dst) {
+               std::span<T> dst,
+               const compile::SchedulePlan* plan = nullptr) {
   comm::Engine engine(comm);
-  engine.wait(engine.post_transport<T>(sched, src, dst));
+  engine.wait(engine.post_transport<T>(sched, src, dst, plan));
 }
 
 /// Gather: fetch one copy of every off-processor element this schedule
 /// covers into the ghost region of `data` (which spans owned + ghost).
 template <typename T>
-void gather(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
+void gather(sim::Comm& comm, const Schedule& sched, std::span<T> data,
+            const compile::SchedulePlan* plan = nullptr) {
   comm::Engine engine(comm);
-  engine.wait(engine.post_gather<T>(sched, data));
+  engine.wait(engine.post_gather<T>(sched, data, plan));
 }
 
 /// Transpose execution with a combiner: ship ghost values back to owners;
 /// each owner applies `op(owned, incoming)` at the original send indices.
 template <typename T, typename Op>
 void scatter_op(sim::Comm& comm, const Schedule& sched, std::span<T> data,
-                Op op) {
+                Op op, const compile::SchedulePlan* plan = nullptr) {
   comm::Engine engine(comm);
-  engine.wait(engine.post_scatter_op<T>(sched, data, op));
+  engine.wait(engine.post_scatter_op<T>(sched, data, op, plan));
 }
 
 /// Scatter with replacement (last writer per element wins; with CHAOS-built
@@ -70,17 +72,19 @@ void scatter_op(sim::Comm& comm, const Schedule& sched, std::span<T> data,
 /// peers are processed in ascending rank order, so the result is
 /// deterministic).
 template <typename T>
-void scatter(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
+void scatter(sim::Comm& comm, const Schedule& sched, std::span<T> data,
+             const compile::SchedulePlan* plan = nullptr) {
   comm::Engine engine(comm);
-  engine.wait(engine.post_scatter<T>(sched, data));
+  engine.wait(engine.post_scatter<T>(sched, data, plan));
 }
 
 /// Scatter-accumulate: the reduction used by irregular loops that combine
 /// partial results computed at ghost copies (e.g. force accumulation).
 template <typename T>
-void scatter_add(sim::Comm& comm, const Schedule& sched, std::span<T> data) {
+void scatter_add(sim::Comm& comm, const Schedule& sched, std::span<T> data,
+                 const compile::SchedulePlan* plan = nullptr) {
   comm::Engine engine(comm);
-  engine.wait(engine.post_scatter_add<T>(sched, data));
+  engine.wait(engine.post_scatter_add<T>(sched, data, plan));
 }
 
 }  // namespace chaos::core

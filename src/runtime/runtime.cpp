@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "compile/locality.hpp"
+
 namespace chaos {
 
 // ---- Phase A ---------------------------------------------------------------
@@ -89,7 +91,12 @@ std::size_t Runtime::compact() {
     if (!e.retired) continue;
     released += e.registry.footprint_bytes();
     e.registry = runtime::ScheduleRegistry{};
-    e.dist.reset();  // translation table of a retired epoch
+    if (e.dist) {
+      // Translation table of a retired epoch (the full home array when
+      // replicated, one page when distributed).
+      released += e.dist->table().footprint_bytes();
+      e.dist.reset();
+    }
     if (e.delta) {
       released += e.delta->footprint_bytes();
       e.delta.reset();  // lineage record of a retired epoch
@@ -102,14 +109,24 @@ std::size_t Runtime::compact() {
     if (!dead) continue;
     released += e.sched.footprint_bytes();
     e.sched = core::Schedule{};
+    if (e.compiled) {
+      released += e.compiled->footprint_bytes();
+      e.compiled.reset();
+    }
   }
   return released;
 }
 
 std::size_t Runtime::registry_bytes() const {
   std::size_t n = 0;
-  for (const DistEntry& e : dists_) n += e.registry.footprint_bytes();
-  for (const ScheduleEntry& e : scheds_) n += e.sched.footprint_bytes();
+  for (const DistEntry& e : dists_) {
+    n += e.registry.footprint_bytes();
+    if (e.dist) n += e.dist->table().footprint_bytes();
+  }
+  for (const ScheduleEntry& e : scheds_) {
+    n += e.sched.footprint_bytes();
+    if (e.compiled) n += e.compiled->footprint_bytes();
+  }
   return n;
 }
 
@@ -398,6 +415,62 @@ const Runtime::ScheduleEntry& Runtime::checked(ScheduleHandle h) const {
                   "re-inspected; re-derive it (rt.merge / rt.incremental)");
   }
   return e;
+}
+
+const compile::SchedulePlan* Runtime::plan_of(const ScheduleEntry& e) {
+  if (!schedule_compilation_) return nullptr;
+  switch (e.kind) {
+    case ScheduleKind::kLoop:
+      return dists_[e.dist].registry.compiled_plan(comm_, e.ind_id);
+    case ScheduleKind::kMerged:
+    case ScheduleKind::kIncremental: {
+      // checked() already validated component revisions, and re-deriving
+      // replaces the whole entry, so a cached plan here is never stale.
+      if (!e.compiled) {
+        runtime::ScheduleRegistry& reg = dists_[e.dist].registry;
+        auto plan = std::make_unique<const compile::SchedulePlan>(
+            compile::SchedulePlan::compile(e.sched, reg.compile_options()));
+        comm_.charge_work(
+            static_cast<double>(plan->stats().total_elements) *
+            core::costs::kDeltaScan);
+        reg.note_external_compile(plan->stats());
+        e.compiled = std::move(plan);
+      }
+      return e.compiled.get();
+    }
+    case ScheduleKind::kRemap:
+    case ScheduleKind::kOnce:
+      // Executed once: lowering would cost more than it saves.
+      return nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<GlobalIndex> Runtime::remap_ghost_locality(DistHandle h) {
+  CHAOS_CHECK(engine_.idle(),
+              "locality remap with engine operations in flight");
+  DistEntry& de = dist_entry(h);
+  std::vector<GlobalIndex> perm = de.registry.remap_ghost_locality(comm_);
+  if (perm.empty()) return perm;
+
+  // Merged/incremental schedules derived from this epoch reference the
+  // renumbered ghost slots too; rewrite them through the same permutation
+  // so their handles stay valid. kOnce schedules number ghosts through
+  // their own scratch table and are untouched.
+  const GlobalIndex owned = de.dist->owned_count(comm_.rank());
+  for (ScheduleEntry& e : scheds_) {
+    if (e.dist != h.id || e.revoked) continue;
+    if (e.kind != ScheduleKind::kMerged &&
+        e.kind != ScheduleKind::kIncremental)
+      continue;
+    std::vector<core::ScheduleBlock> send = e.sched.send_blocks();
+    std::vector<core::ScheduleBlock> recv = e.sched.recv_blocks();
+    for (core::ScheduleBlock& b : recv)
+      compile::apply_ghost_permutation(perm, owned, b.indices);
+    e.sched = core::Schedule(std::move(send), std::move(recv));
+    e.compiled.reset();
+  }
+  return perm;
 }
 
 const core::Schedule& Runtime::schedule_of(const ScheduleEntry& e) const {

@@ -174,6 +174,34 @@ class Runtime {
   /// flight.
   void retire(DistHandle h);
 
+  // ---- schedule compilation -------------------------------------------
+  //
+  // Executor calls lower each schedule into a compile::SchedulePlan on
+  // first use (contiguous and constant-stride runs become segment copies;
+  // the residue keeps an index list) and execute through it from then on.
+  // Compiled execution is bitwise identical to interpreted execution; only
+  // the per-event pack/unpack cost changes. See docs/API.md "Compiled
+  // schedules".
+
+  /// Compiled-execution switch (default on). Turning it off forces every
+  /// executor call back to the interpreted per-element path — the
+  /// reference arm for A/B measurement and the equivalence suite. Plans
+  /// already compiled are kept and resume serving when re-enabled.
+  void set_schedule_compilation(bool on) { schedule_compilation_ = on; }
+  bool schedule_compilation() const { return schedule_compilation_; }
+
+  /// Locality remap (compile/locality.hpp): renumber epoch `h`'s ghost
+  /// region so cached schedules' recv blocks land consecutively in wire
+  /// order, creating the runs schedule compilation feeds on. Rewrites the
+  /// epoch's inspector state, cached schedules, localized references, and
+  /// any merged/incremental schedules derived from them; compiled plans
+  /// re-lower on next use. Ghost data already gathered under the old
+  /// numbering is invalidated — run it between inspection and execution.
+  /// Purely local (not collective); requires an idle engine. Returns
+  /// new_slot_of_old (empty when the numbering was already optimal) so
+  /// callers can rewrite auxiliary per-slot state of their own.
+  std::vector<GlobalIndex> remap_ghost_locality(DistHandle h);
+
   /// Registry memory hygiene (ROADMAP): free the inspector state (hash
   /// table, cached plans) and derived-schedule storage of every retired
   /// epoch. Handles bound to retired epochs were already invalid, so this
@@ -184,7 +212,9 @@ class Runtime {
   std::size_t compact();
 
   /// Approximate bytes of inspector/schedule state currently held across
-  /// all epochs (live and retired). Drops after compact().
+  /// all epochs (live and retired): registries (hash tables, cached plans,
+  /// compiled plans), translation-table homes, and derived-schedule
+  /// storage. Drops after compact().
   std::size_t registry_bytes() const;
 
   const lang::Distribution& dist(DistHandle h) const;
@@ -331,13 +361,14 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    core::gather<T>(comm_, schedule_of(e), data);
+    core::gather<T>(comm_, schedule_of(e), data, plan_of(e));
   }
 
   template <typename T>
   void gather(ScheduleHandle h, lang::DistributedArray<T>& a) {
-    a.ensure_extent(extent_of(checked(h)));
-    core::gather<T>(comm_, schedule(h), a.local());
+    const ScheduleEntry& e = checked(h);
+    a.ensure_extent(extent_of(e));
+    core::gather<T>(comm_, schedule_of(e), a.local(), plan_of(e));
   }
 
   template <typename T>
@@ -345,7 +376,7 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    core::scatter<T>(comm_, schedule_of(e), data);
+    core::scatter<T>(comm_, schedule_of(e), data, plan_of(e));
   }
 
   template <typename T>
@@ -353,13 +384,14 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    core::scatter_add<T>(comm_, schedule_of(e), data);
+    core::scatter_add<T>(comm_, schedule_of(e), data, plan_of(e));
   }
 
   template <typename T>
   void scatter_add(ScheduleHandle h, lang::DistributedArray<T>& a) {
-    a.ensure_extent(extent_of(checked(h)));
-    core::scatter_add<T>(comm_, schedule(h), a.local());
+    const ScheduleEntry& e = checked(h);
+    a.ensure_extent(extent_of(e));
+    core::scatter_add<T>(comm_, schedule_of(e), a.local(), plan_of(e));
   }
 
   // ---- Phase F, asynchronous: the communication engine ----------------
@@ -380,7 +412,7 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    return engine_.post_gather<T>(schedule_of(e), data);
+    return engine_.post_gather<T>(schedule_of(e), data, plan_of(e));
   }
 
   template <typename T>
@@ -388,7 +420,7 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    return engine_.post_scatter<T>(schedule_of(e), data);
+    return engine_.post_scatter<T>(schedule_of(e), data, plan_of(e));
   }
 
   template <typename T>
@@ -396,7 +428,7 @@ class Runtime {
     const ScheduleEntry& e = checked(h);
     CHAOS_CHECK(static_cast<GlobalIndex>(data.size()) >= extent_of(e),
                 "data array smaller than the schedule's local extent");
-    return engine_.post_scatter_add<T>(schedule_of(e), data);
+    return engine_.post_scatter_add<T>(schedule_of(e), data, plan_of(e));
   }
 
   /// Async light-weight migration: builds the schedule (collective), posts
@@ -486,6 +518,11 @@ class Runtime {
     GlobalIndex new_owned = 0;              // kRemap
     std::uint32_t to_dist = 0;              // kRemap target epoch
     bool revoked = false;                   // kOnce superseded by a newer one
+    /// Compiled plan for kMerged/kIncremental (lowered lazily by plan_of;
+    /// mutable because executor calls see the entry through checked()).
+    /// kLoop plans are cached in the registry; kRemap/kOnce schedules
+    /// execute once and are never compiled.
+    mutable std::unique_ptr<const compile::SchedulePlan> compiled;
   };
 
   DistEntry& dist_entry(DistHandle h);
@@ -495,6 +532,9 @@ class Runtime {
   /// derived schedule).
   const ScheduleEntry& checked(ScheduleHandle h) const;
   const core::Schedule& schedule_of(const ScheduleEntry& e) const;
+  /// Compiled plan to execute `e` through, or null (compilation off, or a
+  /// kind that is never compiled). Lowers and caches on first use.
+  const compile::SchedulePlan* plan_of(const ScheduleEntry& e);
   GlobalIndex extent_of(const ScheduleEntry& e) const;
   ScheduleHandle loop_schedule_handle(std::uint32_t dist_id,
                                       std::uint64_t ind_id);
@@ -506,6 +546,7 @@ class Runtime {
   sim::Comm& comm_;
   comm::Engine engine_{comm_};
   bool cross_epoch_reuse_ = true;
+  bool schedule_compilation_ = true;
   std::vector<DistEntry> dists_;
   std::vector<LoopEntry> loops_;
   // Deque, not vector: posted engine operations hold references to

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compile/locality.hpp"
 #include "core/costs.hpp"
 
 namespace chaos::runtime {
@@ -50,6 +51,10 @@ const lang::LoopPlan& ScheduleRegistry::plan(sim::Comm& comm,
       comm, *hash_, core::StampExpr::only(entry.plan.stamp));
   entry.plan.local_extent = hash_->local_extent();
   entry.version = ind.version();
+  // The schedule changed under any compiled plan; re-lower on next use (a
+  // re-inspection is not a repartition, so it is not counted as one).
+  entry.compiled.reset();
+  entry.recompile_pending = false;
   return entry.plan;
 }
 
@@ -90,6 +95,77 @@ core::Schedule ScheduleRegistry::incremental(
   return core::build_schedule(comm, *hash_, expr);
 }
 
+const compile::SchedulePlan* ScheduleRegistry::compiled_plan(
+    sim::Comm& comm, std::uint64_t ind_id) {
+  auto it = loops_.find(ind_id);
+  if (it == loops_.end()) return nullptr;
+  CachedLoop& entry = it->second;
+  if (!entry.compiled) {
+    auto plan = std::make_unique<const compile::SchedulePlan>(
+        compile::SchedulePlan::compile(entry.plan.schedule, copts_));
+    // Lowering is one local scan over the schedule's index lists.
+    comm.charge_work(static_cast<double>(plan->stats().total_elements) *
+                     core::costs::kDeltaScan);
+    note_external_compile(plan->stats());
+    if (entry.recompile_pending) {
+      ++stats_.recompiles_after_repartition;
+      entry.recompile_pending = false;
+    }
+    entry.compiled = std::move(plan);
+  }
+  return entry.compiled.get();
+}
+
+void ScheduleRegistry::note_external_compile(
+    const compile::SchedulePlan::Stats& s) {
+  ++stats_.compiled_plans;
+  stats_.runs_detected += s.run_ops;
+  stats_.run_elements += s.run_elements;
+  stats_.residue_elements += s.residue_elements;
+}
+
+std::vector<GlobalIndex> ScheduleRegistry::remap_ghost_locality(
+    sim::Comm& comm) {
+  ++stats_.locality_remaps;
+  if (!hash_ || hash_->ghost_count() == 0) return {};
+
+  // Schedules in first-plan order: the loop planned first claims its slots
+  // first, so its recv blocks become fully contiguous.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order_ids;
+  order_ids.reserve(loops_.size());
+  for (const auto& [id, cached] : loops_)
+    order_ids.emplace_back(cached.order, id);
+  std::sort(order_ids.begin(), order_ids.end());
+  std::vector<const core::Schedule*> scheds;
+  scheds.reserve(order_ids.size());
+  for (const auto& [ord, id] : order_ids)
+    scheds.push_back(&loops_.at(id).plan.schedule);
+
+  const GlobalIndex owned = hash_->owned_count();
+  std::vector<GlobalIndex> perm = compile::ghost_locality_permutation(
+      owned, hash_->ghost_count(), scheds);
+  if (perm.empty()) return perm;
+
+  hash_->permute_ghosts(perm);
+  double touched = static_cast<double>(perm.size());
+  for (auto& [id, cached] : loops_) {
+    compile::apply_ghost_permutation(perm, owned, cached.plan.local_refs);
+    std::vector<core::ScheduleBlock> send =
+        cached.plan.schedule.send_blocks();
+    std::vector<core::ScheduleBlock> recv =
+        cached.plan.schedule.recv_blocks();
+    for (core::ScheduleBlock& b : recv) {
+      compile::apply_ghost_permutation(perm, owned, b.indices);
+      touched += static_cast<double>(b.indices.size());
+    }
+    cached.plan.schedule = core::Schedule(std::move(send), std::move(recv));
+    cached.compiled.reset();  // re-lower over the run-friendly numbering
+    touched += static_cast<double>(cached.plan.local_refs.size());
+  }
+  comm.charge_work(touched * core::costs::kDeltaScan);
+  return perm;
+}
+
 namespace {
 
 /// Carry a schedule across epochs: every element it touches is home-stable,
@@ -127,6 +203,7 @@ void ScheduleRegistry::seed_from(sim::Comm& comm,
   loops_.clear();
   next_order_ = 0;
   scan_order_pristine_ = true;  // seeding is itself a compact replay
+  copts_ = prior.copts_;
   hash_ = std::make_unique<core::IndexHashTable>(
       dist.owned_count(comm.rank()));
   if (!prior.hash_) return;
@@ -216,10 +293,20 @@ void ScheduleRegistry::seed_from(sim::Comm& comm,
     if (stable_all == 1) {
       nl.plan.schedule = patch_schedule(comm, pl.plan.schedule, local_remap);
       ++stats_.patched_schedules;
+      if (pl.compiled) {
+        // A patched schedule keeps its send side verbatim, so the carried
+        // compiled plan reuses the send BlockPlans and re-lowers only the
+        // remapped recv side.
+        nl.compiled = std::make_unique<const compile::SchedulePlan>(
+            compile::SchedulePlan::carry_patched(*pl.compiled,
+                                                 nl.plan.schedule, copts_));
+        ++stats_.carried_compiled_plans;
+      }
     } else {
       nl.plan.schedule =
           core::build_schedule(comm, *hash_, core::StampExpr::only(stamp));
       ++stats_.rebuilt_schedules;
+      nl.recompile_pending = pl.compiled != nullptr;
     }
     ++stats_.carried_plans;
     loops_.emplace(id, std::move(nl));

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "compile/schedule_plan.hpp"
 #include "core/hash_table.hpp"
 #include "core/owner_delta.hpp"
 #include "core/schedule.hpp"
@@ -69,6 +70,32 @@ class ScheduleRegistry {
   void seed_from(sim::Comm& comm, const lang::Distribution& dist,
                  const ScheduleRegistry& prior, const core::OwnerDelta& delta);
 
+  // ---- schedule compilation (compile/schedule_plan.hpp) ----------------
+
+  /// Compiled execution plan for a cached loop's schedule, lowered on first
+  /// call and cached until the loop is re-inspected. Charges the (local)
+  /// lowering scan. Null when the loop has no plan in this epoch.
+  const compile::SchedulePlan* compiled_plan(sim::Comm& comm,
+                                             std::uint64_t ind_id);
+
+  /// Fold an externally lowered plan (derived merged/incremental schedule,
+  /// compiled by Runtime) into this epoch's compile stats.
+  void note_external_compile(const compile::SchedulePlan::Stats& s);
+
+  const compile::Options& compile_options() const { return copts_; }
+  void set_compile_options(const compile::Options& o) { copts_ = o; }
+
+  /// Locality remap (compile/locality.hpp): renumber this epoch's ghost
+  /// region so cached schedules' recv blocks land consecutively in wire
+  /// order, then rewrite the hash table, localized references, and recv
+  /// sides of all cached schedules through the renumbering. Compiled plans
+  /// are dropped (the next compiled_plan() call re-lowers over the new,
+  /// run-friendlier numbering). Purely local. Returns new_slot_of_old
+  /// (empty if the numbering was already optimal); the caller must rewrite
+  /// any schedules it derived from this registry through the same
+  /// permutation, and ghost data already gathered is invalidated.
+  std::vector<GlobalIndex> remap_ghost_locality(sim::Comm& comm);
+
   /// Statistics the benches report: how often preprocessing was reused.
   struct Stats {
     std::uint64_t builds = 0;
@@ -78,6 +105,18 @@ class ScheduleRegistry {
     std::uint64_t patched_schedules = 0;  ///< schedules kept, recv remapped
     std::uint64_t rebuilt_schedules = 0;  ///< schedules regenerated on seed
     std::uint64_t seed_translations = 0;  ///< unstable entries re-translated
+    // Schedule-compilation counters (compile/schedule_plan.hpp).
+    std::uint64_t compiled_plans = 0;    ///< plans lowered in this epoch
+    std::uint64_t runs_detected = 0;     ///< segment ops covering runs
+    std::uint64_t run_elements = 0;      ///< elements inside runs
+    std::uint64_t residue_elements = 0;  ///< elements left to index lists
+    /// Compiled plans carried across a repartition by seed_from (send side
+    /// reused verbatim, recv side re-lowered — no full recompile).
+    std::uint64_t carried_compiled_plans = 0;
+    /// Compiled plans dropped because seed_from had to rebuild their
+    /// schedule, then lowered again on next use.
+    std::uint64_t recompiles_after_repartition = 0;
+    std::uint64_t locality_remaps = 0;  ///< remap_ghost_locality passes run
   };
   const Stats& stats() const { return stats_; }
 
@@ -99,6 +138,7 @@ class ScheduleRegistry {
     for (const auto& [id, cached] : loops_) {
       n += cached.plan.local_refs.capacity() * sizeof(GlobalIndex);
       n += cached.plan.schedule.footprint_bytes();
+      if (cached.compiled) n += cached.compiled->footprint_bytes();
     }
     return n;
   }
@@ -112,6 +152,14 @@ class ScheduleRegistry {
     /// cold replay of the same plan calls would put them.
     std::uint64_t order = 0;
     lang::LoopPlan plan;
+    /// Compiled execution plan, lowered lazily by compiled_plan() and
+    /// dropped whenever the schedule changes under it (re-inspection,
+    /// locality remap, seed-time rebuild).
+    std::unique_ptr<const compile::SchedulePlan> compiled;
+    /// Set when seed_from rebuilt this loop's schedule in a successor epoch
+    /// and the prior epoch had compiled it: the next compiled_plan() call
+    /// is counted as a recompile forced by the repartition.
+    bool recompile_pending = false;
   };
 
   core::Stamp stamp_of(std::uint64_t ind_id) const;
@@ -127,6 +175,7 @@ class ScheduleRegistry {
   bool scan_order_pristine_ = true;
   std::unique_ptr<core::IndexHashTable> hash_;
   std::map<std::uint64_t, CachedLoop> loops_;  // by IndirectionArray::id
+  compile::Options copts_;
   Stats stats_;
 };
 

@@ -1,0 +1,496 @@
+// Schedule compilation: run detection units + randomized compiled-vs-
+// interpreted bitwise equivalence.
+//
+// The compiled executor (compile/schedule_plan.hpp) claims to reproduce
+// the interpreted executor's byte stream, placement order, and combining
+// order exactly. The headline test here is that property, randomized: two
+// Runtimes run in lockstep over the same comm — one with schedule
+// compilation on (the default), one with it off — against identical
+// distributions and reference streams, and every executed direction
+// (gather / scatter / scatter_add) must leave element-for-element equal
+// arrays on every rank, for replicated AND paged translation, including
+// the degenerate schedules (empty, singleton, all-residue) where the
+// lowering has no runs to find.
+//
+// Also covered deterministically:
+//   - the lowering itself: maximal-run detection, short runs and
+//     zero-stride repeats falling to the (merged) residue, hull bounds
+//   - the three executor kernels against hand-walked expectations
+//   - carry_patched reusing send-side plans verbatim across a repartition
+//   - remap_ghost_locality: the permuted ghost region still localizes and
+//     gathers the right global elements, compiled and interpreted alike
+//   - the registry counters (compiled_plans, carried_compiled_plans,
+//     recompiles_after_repartition) proving both cross-epoch paths ran
+//
+// Seed count and base are env-overridable so the CI stress label can run
+// extra random seeds: CHAOS_COMPILE_SEEDS=10 CHAOS_COMPILE_SEED_BASE=7000
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compile/schedule_plan.hpp"
+#include "runtime/runtime.hpp"
+#include "support/equivalence.hpp"
+#include "util/rng.hpp"
+
+namespace chaos {
+namespace {
+
+using core::GlobalIndex;
+using core::Schedule;
+using core::ScheduleBlock;
+using sim::Comm;
+using sim::Machine;
+namespace ts = testing_support;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+Schedule one_send_block(std::vector<GlobalIndex> idx) {
+  std::vector<ScheduleBlock> send;
+  send.push_back(ScheduleBlock{1, std::move(idx)});
+  return Schedule(std::move(send), {});
+}
+
+// ---- lowering units --------------------------------------------------------
+
+TEST(ScheduleCompile, ContiguousRunLowersToOneMemcpyOp) {
+  const compile::SchedulePlan plan =
+      compile::SchedulePlan::compile(one_send_block({3, 4, 5, 6, 7, 8}));
+  ASSERT_EQ(plan.send().size(), 1u);
+  const compile::BlockPlan& b = plan.send()[0];
+  ASSERT_EQ(b.ops.size(), 1u);
+  EXPECT_EQ(b.ops[0].start, 3);
+  EXPECT_EQ(b.ops[0].len, 6);
+  EXPECT_EQ(b.ops[0].stride, 1);
+  EXPECT_TRUE(b.residue.empty());
+  EXPECT_EQ(b.lo, 3);
+  EXPECT_EQ(b.hi, 8);
+  EXPECT_EQ(plan.stats().run_ops, 1u);
+  EXPECT_EQ(plan.stats().run_elements, 6u);
+  EXPECT_EQ(plan.stats().residue_elements, 0u);
+}
+
+TEST(ScheduleCompile, StridedRunsIncludingDescending) {
+  const compile::SchedulePlan up =
+      compile::SchedulePlan::compile(one_send_block({0, 3, 6, 9, 12}));
+  ASSERT_EQ(up.send()[0].ops.size(), 1u);
+  EXPECT_EQ(up.send()[0].ops[0].stride, 3);
+  EXPECT_EQ(up.send()[0].ops[0].len, 5);
+
+  const compile::SchedulePlan down =
+      compile::SchedulePlan::compile(one_send_block({20, 19, 18, 17, 16}));
+  ASSERT_EQ(down.send()[0].ops.size(), 1u);
+  EXPECT_EQ(down.send()[0].ops[0].start, 20);
+  EXPECT_EQ(down.send()[0].ops[0].stride, -1);
+  EXPECT_EQ(down.send()[0].lo, 16);
+  EXPECT_EQ(down.send()[0].hi, 20);
+}
+
+TEST(ScheduleCompile, ShortRunsAndRepeatsMergeIntoOneResidueOp) {
+  // {5,6,7} is below min_run, 42 is isolated, 9,9 is a zero-stride repeat
+  // no block copy can express; only {100,104,108,112} survives as a run.
+  // Everything before it must land in ONE merged residue op, in wire order.
+  const compile::SchedulePlan plan = compile::SchedulePlan::compile(
+      one_send_block({5, 6, 7, 42, 9, 9, 100, 104, 108, 112}));
+  const compile::BlockPlan& b = plan.send()[0];
+  ASSERT_EQ(b.ops.size(), 2u);
+  EXPECT_EQ(b.ops[0].stride, 0);
+  EXPECT_EQ(b.ops[0].start, 0);
+  EXPECT_EQ(b.ops[0].len, 6);
+  EXPECT_EQ(b.residue, (std::vector<GlobalIndex>{5, 6, 7, 42, 9, 9}));
+  EXPECT_EQ(b.ops[1].stride, 4);
+  EXPECT_EQ(b.ops[1].start, 100);
+  EXPECT_EQ(b.ops[1].len, 4);
+  EXPECT_EQ(plan.stats().residue_elements, 6u);
+  EXPECT_EQ(plan.stats().run_elements, 4u);
+}
+
+TEST(ScheduleCompile, MinRunOptionMovesTheRunThreshold) {
+  compile::Options opt;
+  opt.min_run = 3;
+  const compile::SchedulePlan plan =
+      compile::SchedulePlan::compile(one_send_block({5, 6, 7, 42}), opt);
+  const compile::BlockPlan& b = plan.send()[0];
+  ASSERT_EQ(b.ops.size(), 2u);
+  EXPECT_EQ(b.ops[0].stride, 1);  // len 3 is a run at min_run = 3
+  EXPECT_EQ(b.ops[0].len, 3);
+  EXPECT_EQ(b.ops[1].stride, 0);
+}
+
+TEST(ScheduleCompile, EmptyAndSingletonBlocks) {
+  const compile::SchedulePlan empty =
+      compile::SchedulePlan::compile(Schedule{});
+  EXPECT_TRUE(empty.send().empty());
+  EXPECT_TRUE(empty.recv().empty());
+  EXPECT_EQ(empty.stats().total_elements, 0u);
+
+  const compile::SchedulePlan blocks = compile::SchedulePlan::compile(
+      Schedule(std::vector<ScheduleBlock>{ScheduleBlock{0, {}},
+                                          ScheduleBlock{1, {7}}},
+               {}));
+  EXPECT_TRUE(blocks.send()[0].ops.empty());
+  EXPECT_EQ(blocks.send()[0].count, 0);
+  ASSERT_EQ(blocks.send()[1].ops.size(), 1u);
+  EXPECT_EQ(blocks.send()[1].ops[0].stride, 0);  // singleton -> residue
+  EXPECT_EQ(blocks.send()[1].count, 1);
+}
+
+// ---- kernel units ----------------------------------------------------------
+
+TEST(ScheduleCompile, KernelsMatchHandWalkedInterpretation) {
+  const std::vector<GlobalIndex> idx{4, 5, 6, 7, 30, 2, 11, 9, 7, 5, 3};
+  const compile::SchedulePlan plan = compile::SchedulePlan::compile(
+      one_send_block(std::vector<GlobalIndex>(idx)));
+  const compile::BlockPlan& b = plan.send()[0];
+  ASSERT_EQ(b.count, static_cast<GlobalIndex>(idx.size()));
+
+  std::vector<double> src(32);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = 1.5 * static_cast<double>(i) + 2.0;
+
+  // pack == src read at idx, in wire order.
+  std::vector<double> wire(idx.size());
+  compile::pack_block<double>(b, std::span<const double>{src}, wire.data());
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    EXPECT_EQ(wire[k], src[static_cast<std::size_t>(idx[k])]) << "k=" << k;
+
+  // place == replacement at idx; later wire entries win on duplicates
+  // (interpreted order), e.g. idx 7 appears twice.
+  std::vector<double> dst(32, -1.0);
+  compile::place_block<double>(b, std::as_bytes(std::span<const double>{wire}),
+                               std::span<double>{dst});
+  std::vector<double> expect_place(32, -1.0);
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    expect_place[static_cast<std::size_t>(idx[k])] = wire[k];
+  EXPECT_TRUE(ts::spans_equal(dst, expect_place, "place_block"));
+
+  // combine == accumulate at idx, in wire order.
+  std::vector<double> acc(32, 0.5);
+  compile::combine_block<double>(
+      b, std::as_bytes(std::span<const double>{wire}), std::span<double>{acc},
+      [](double own, double in) { return own + in; });
+  std::vector<double> expect_acc(32, 0.5);
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    expect_acc[static_cast<std::size_t>(idx[k])] += wire[k];
+  EXPECT_TRUE(ts::spans_equal(acc, expect_acc, "combine_block"));
+}
+
+TEST(ScheduleCompile, CarryPatchedReusesSendSideVerbatim) {
+  std::vector<ScheduleBlock> send{ScheduleBlock{1, {2, 3, 4, 5, 9}}};
+  std::vector<ScheduleBlock> recv{ScheduleBlock{1, {10, 11, 12, 13}}};
+  const Schedule prior_sched(send, recv);
+  const compile::SchedulePlan prior = compile::SchedulePlan::compile(prior_sched);
+
+  // A patch rewrites recv-side ghost slots; the send side stays verbatim.
+  std::vector<ScheduleBlock> patched_recv{ScheduleBlock{1, {20, 14, 21, 15}}};
+  const Schedule patched(send, patched_recv);
+  const compile::SchedulePlan carried =
+      compile::SchedulePlan::carry_patched(prior, patched);
+
+  ASSERT_EQ(carried.send().size(), prior.send().size());
+  EXPECT_EQ(carried.send()[0].ops.size(), prior.send()[0].ops.size());
+  EXPECT_EQ(carried.send()[0].residue, prior.send()[0].residue);
+  ASSERT_EQ(carried.recv().size(), 1u);
+  EXPECT_EQ(carried.recv()[0].count, 4);
+  EXPECT_EQ(carried.recv()[0].lo, 14);
+  EXPECT_EQ(carried.recv()[0].hi, 21);
+}
+
+// ---- randomized compiled-vs-interpreted equivalence ------------------------
+
+/// Reference stream styles the scenario draws from — degenerate shapes
+/// (empty, singleton) are explicit cases, not left to chance.
+std::vector<GlobalIndex> draw_refs(int style, GlobalIndex n, Rng& rng) {
+  std::vector<GlobalIndex> refs;
+  switch (style % 4) {
+    case 0:  // unstructured: mostly residue
+      for (std::size_t j = 0; j < 48; ++j)
+        refs.push_back(static_cast<GlobalIndex>(rng.below(
+            static_cast<std::uint64_t>(n))));
+      break;
+    case 1:  // empty reference stream -> empty schedule
+      break;
+    case 2:  // singleton
+      refs.push_back(static_cast<GlobalIndex>(rng.below(
+          static_cast<std::uint64_t>(n))));
+      break;
+    case 3: {  // sorted window -> runs for the lowering to find
+      const GlobalIndex len = std::min<GlobalIndex>(n, 32);
+      const GlobalIndex start = static_cast<GlobalIndex>(rng.below(
+          static_cast<std::uint64_t>(n - len + 1)));
+      for (GlobalIndex k = 0; k < len; ++k) refs.push_back(start + k);
+      break;
+    }
+  }
+  return refs;
+}
+
+/// One randomized scenario: identical irregular distributions and
+/// reference streams on a compiled and an interpreted Runtime, every
+/// direction executed in lockstep and compared element-for-element,
+/// then one repartition round to drive the carried/recompiled plans.
+void run_compiled_equivalence_scenario(std::uint64_t seed, bool paged) {
+  Rng shape_rng(seed);
+  const int P = 2 + static_cast<int>(shape_rng.below(3));
+  const GlobalIndex n = 40 + static_cast<GlobalIndex>(shape_rng.below(160));
+  const int nloops = 1 + static_cast<int>(shape_rng.below(3));
+
+  Machine m(P);
+  m.run([&](Comm& comm) {
+    Runtime comp(comm);  // schedule compilation on by default
+    Runtime interp(comm);
+    interp.set_schedule_compilation(false);
+    ASSERT_TRUE(comp.schedule_compilation());
+
+    Rng map_rng(seed * 1000003 + 17);
+    std::vector<int> map(static_cast<std::size_t>(n));
+    for (int& p : map) p = static_cast<int>(map_rng.below(P));
+    DistHandle dc = paged ? comp.irregular_paged(map) : comp.irregular(map);
+    DistHandle di = paged ? interp.irregular_paged(map) : interp.irregular(map);
+
+    // Machine-wide style decisions from a rank-identical rng; per-rank
+    // reference content from a rank-salted one (cross_epoch idiom).
+    Rng global_rng(seed * 31 + 7);
+    Rng ref_rng(seed * 7919 + 101 +
+                static_cast<std::uint64_t>(comm.rank()) * 65537);
+
+    std::vector<lang::IndirectionArray> inds;
+    inds.reserve(static_cast<std::size_t>(nloops));
+    std::vector<ScheduleHandle> hc, hi;
+    for (int l = 0; l < nloops; ++l) {
+      const int style = static_cast<int>(global_rng.below(4));
+      inds.emplace_back(draw_refs(style, n, ref_rng));
+      hc.push_back(comp.inspect(dc, inds.back()));
+      hi.push_back(interp.inspect(di, inds.back()));
+    }
+    if (nloops >= 2) {  // derived schedules take the entry-cache plan path
+      hc.push_back(comp.merge({hc[0], hc[1]}));
+      hi.push_back(interp.merge({hi[0], hi[1]}));
+      hc.push_back(comp.incremental(hc[1], hc[0]));
+      hi.push_back(interp.incremental(hi[1], hi[0]));
+    }
+
+    const auto extent_c = static_cast<std::size_t>(comp.local_extent(dc));
+    const auto extent_i = static_cast<std::size_t>(interp.local_extent(di));
+    ASSERT_EQ(extent_c, extent_i);
+
+    // Integer-valued payloads so combining order cannot hide behind FP
+    // noise; ghosts pre-seeded rank-distinct so scatter directions move
+    // data the other arm must reproduce exactly.
+    std::vector<double> base(extent_c);
+    for (std::size_t i = 0; i < base.size(); ++i)
+      base[i] = static_cast<double>(3 * i + 17) +
+                1024.0 * static_cast<double>(comm.rank());
+
+    for (std::size_t s = 0; s < hc.size(); ++s) {
+      for (int dir = 0; dir < 3; ++dir) {
+        std::vector<double> a = base, b = base;
+        if (dir == 0) {
+          comp.gather<double>(hc[s], std::span<double>{a});
+          interp.gather<double>(hi[s], std::span<double>{b});
+        } else if (dir == 1) {
+          comp.scatter<double>(hc[s], std::span<double>{a});
+          interp.scatter<double>(hi[s], std::span<double>{b});
+        } else {
+          comp.scatter_add<double>(hc[s], std::span<double>{a});
+          interp.scatter_add<double>(hi[s], std::span<double>{b});
+        }
+        EXPECT_TRUE(ts::spans_equal(
+            a, b,
+            "schedule " + std::to_string(s) + " dir " + std::to_string(dir)));
+      }
+      // One non-8-byte payload per schedule: element size reaches the
+      // kernels' memcpy arithmetic.
+      std::vector<int> ai(extent_c), bi(extent_c);
+      for (std::size_t i = 0; i < extent_c; ++i)
+        ai[i] = bi[i] = static_cast<int>(7 * i) + comm.rank();
+      comp.gather<int>(hc[s], std::span<int>{ai});
+      interp.gather<int>(hi[s], std::span<int>{bi});
+      EXPECT_TRUE(ts::spans_equal(ai, bi,
+                                  "int gather, schedule " + std::to_string(s)));
+    }
+
+    // Repartition round: both arms move to an identical new map, then the
+    // loops re-inspect and execute again — the compiled arm's plans are
+    // carried (patched schedules) or recompiled (rebuilt ones) and must
+    // still match the interpreted arm bitwise.
+    std::vector<int> map2 = map;
+    for (int& p : map2)
+      if (global_rng.below(4) == 0) p = static_cast<int>(global_rng.below(P));
+    const DistHandle dc2 = comp.repartition(dc, map2);
+    const DistHandle di2 = interp.repartition(di, map2);
+    std::vector<ScheduleHandle> hc2, hi2;
+    for (int l = 0; l < nloops; ++l) {
+      hc2.push_back(comp.inspect(dc2, inds[static_cast<std::size_t>(l)]));
+      hi2.push_back(interp.inspect(di2, inds[static_cast<std::size_t>(l)]));
+    }
+    const auto extent2 = static_cast<std::size_t>(comp.local_extent(dc2));
+    ASSERT_EQ(extent2, static_cast<std::size_t>(interp.local_extent(di2)));
+    std::vector<double> base2(extent2);
+    for (std::size_t i = 0; i < base2.size(); ++i)
+      base2[i] = static_cast<double>(5 * i + 3) +
+                 512.0 * static_cast<double>(comm.rank());
+    for (std::size_t s = 0; s < hc2.size(); ++s) {
+      std::vector<double> a = base2, b = base2;
+      comp.gather<double>(hc2[s], std::span<double>{a});
+      interp.gather<double>(hi2[s], std::span<double>{b});
+      comp.scatter_add<double>(hc2[s], std::span<double>{a});
+      interp.scatter_add<double>(hi2[s], std::span<double>{b});
+      EXPECT_TRUE(ts::spans_equal(
+          a, b, "post-repartition schedule " + std::to_string(s)));
+    }
+  });
+}
+
+TEST(ScheduleCompile, RandomizedEquivalenceReplicated) {
+  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 5);
+  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    SCOPED_TRACE("seed " + std::to_string(base + s));
+    run_compiled_equivalence_scenario(base + s, /*paged=*/false);
+  }
+}
+
+TEST(ScheduleCompile, RandomizedEquivalencePaged) {
+  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 3);
+  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    SCOPED_TRACE("seed " + std::to_string(base + s));
+    run_compiled_equivalence_scenario(base + s, /*paged=*/true);
+  }
+}
+
+// ---- locality remap --------------------------------------------------------
+
+/// After remap_ghost_locality the ghost region is renumbered, so results
+/// are checked two ways: against the interpreted arm run through the SAME
+/// deterministic remap, and against ground truth through the loop's
+/// re-localized references (data[local_ref[j]] must hold the value of
+/// global element refs[j], whatever slot that now is).
+TEST(ScheduleCompile, RandomizedLocalityRemapEquivalence) {
+  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 3);
+  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = base + s;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const int P = 3;
+    const GlobalIndex n = 96;
+    Machine m(P);
+    m.run([&](Comm& comm) {
+      Runtime comp(comm);
+      Runtime interp(comm);
+      interp.set_schedule_compilation(false);
+      const DistHandle dc = comp.block(n);
+      const DistHandle di = interp.block(n);
+
+      Rng ref_rng(seed * 7919 + 211 +
+                  static_cast<std::uint64_t>(comm.rank()) * 65537);
+      std::vector<GlobalIndex> refs = draw_refs(0, n, ref_rng);
+      lang::IndirectionArray ind(refs);
+      const LoopHandle lc = comp.bind(dc, ind);
+      const LoopHandle li = interp.bind(di, ind);
+      const ScheduleHandle hc = comp.inspect(lc);
+      const ScheduleHandle hi = interp.inspect(li);
+
+      auto filled = [&](Runtime& rt, DistHandle d) {
+        std::vector<double> a(static_cast<std::size_t>(rt.local_extent(d)),
+                              -9.0);
+        const std::vector<GlobalIndex> own = rt.owned_globals(d);
+        for (std::size_t i = 0; i < own.size(); ++i)
+          a[i] = static_cast<double>(3 * own[i] + 17);
+        return a;
+      };
+
+      // Compile, then remap: the pass must invalidate the cached plan and
+      // the rewritten schedule must re-verify. Both arms remap so their
+      // ghost numbering stays comparable — the pass is deterministic.
+      std::vector<double> warm = filled(comp, dc);
+      comp.gather<double>(hc, std::span<double>{warm});
+      const std::vector<GlobalIndex> perm_c = comp.remap_ghost_locality(dc);
+      const std::vector<GlobalIndex> perm_i = interp.remap_ghost_locality(di);
+      EXPECT_TRUE(ts::spans_equal(perm_c, perm_i, "remap permutation"));
+
+      std::vector<double> a = filled(comp, dc);
+      std::vector<double> b = filled(interp, di);
+      comp.gather<double>(hc, std::span<double>{a});
+      interp.gather<double>(hi, std::span<double>{b});
+      EXPECT_TRUE(ts::spans_equal(a, b, "post-remap gather"));
+      comp.scatter_add<double>(hc, std::span<double>{a});
+      interp.scatter_add<double>(hi, std::span<double>{b});
+      EXPECT_TRUE(ts::spans_equal(a, b, "post-remap scatter_add"));
+
+      // Ground truth through the re-localized references.
+      std::vector<double> g = filled(comp, dc);
+      comp.gather<double>(hc, std::span<double>{g});
+      const std::span<const GlobalIndex> lrefs = comp.local_refs(lc);
+      ASSERT_EQ(lrefs.size(), refs.size());
+      for (std::size_t j = 0; j < refs.size(); ++j)
+        EXPECT_EQ(g[static_cast<std::size_t>(lrefs[j])],
+                  static_cast<double>(3 * refs[j] + 17))
+            << "ref " << j;
+    });
+  }
+}
+
+// ---- cross-epoch counters --------------------------------------------------
+
+/// A home-stable pattern loop and a probe loop over elements the
+/// repartition moves: after the epoch switch the pattern plan must be
+/// carried (send side verbatim) and the probe plan recompiled — the
+/// registry counters distinguish the two paths. The moved elements are the
+/// globally-HIGHEST band: under the ascending-global-order offset
+/// convention, moving them appends slots at the gaining rank and truncates
+/// the losing rank's tail, so every other element keeps owner and offset
+/// (home_stable) — moving a low band would shift offsets machine-wide and
+/// force a rebuild of every schedule.
+TEST(ScheduleCompile, CrossEpochCarryAndRecompileCounters) {
+  const int P = 4;
+  const GlobalIndex n = 128;
+  const GlobalIndex moved = 16;  // the band [n - 16, n), owned by rank 3
+  Machine m(P);
+  m.run([&](Comm& comm) {
+    Runtime rt(comm);
+    const DistHandle d = rt.block(n);
+
+    std::vector<GlobalIndex> pattern_refs, probe_refs;
+    for (GlobalIndex g = 16; g < 96; ++g) pattern_refs.push_back(g);
+    for (GlobalIndex g = n - moved; g < n; ++g) probe_refs.push_back(g);
+    lang::IndirectionArray pattern(pattern_refs), probe(probe_refs);
+    const ScheduleHandle h = rt.inspect(d, pattern);
+    const ScheduleHandle hp = rt.inspect(d, probe);
+
+    std::vector<double> a(static_cast<std::size_t>(rt.local_extent(d)), 1.0);
+    rt.gather<double>(h, std::span<double>{a});   // compiles the pattern plan
+    rt.gather<double>(hp, std::span<double>{a});  // compiles the probe plan
+    const runtime::ScheduleRegistry::Stats s1 = rt.registry_stats(d);
+    EXPECT_GE(s1.compiled_plans, 2u);
+    EXPECT_GT(s1.runs_detected, 0u);
+
+    std::vector<int> map2(rt.dist(d).map().begin(), rt.dist(d).map().end());
+    for (GlobalIndex g = n - moved; g < n; ++g)
+      map2[static_cast<std::size_t>(g)] =
+          (map2[static_cast<std::size_t>(g)] + 1) % comm.size();
+    const DistHandle d2 = rt.repartition(d, map2);
+    const ScheduleHandle h2 = rt.inspect(d2, pattern);
+    const ScheduleHandle hp2 = rt.inspect(d2, probe);
+    std::vector<double> a2(static_cast<std::size_t>(rt.local_extent(d2)), 1.0);
+    rt.gather<double>(h2, std::span<double>{a2});
+    rt.gather<double>(hp2, std::span<double>{a2});
+
+    if (comm.rank() == 0) {
+      const runtime::ScheduleRegistry::Stats s2 = rt.registry_stats(d2);
+      EXPECT_GE(s2.carried_compiled_plans, 1u) << "pattern plan not carried";
+      EXPECT_GE(s2.recompiles_after_repartition, 1u)
+          << "probe plan not recompiled";
+    }
+  });
+}
+
+}  // namespace
+}  // namespace chaos
