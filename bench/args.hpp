@@ -39,20 +39,25 @@ namespace chaos::bench {
 inline charmm::CharmmShape charmm_shape_from(const std::string& name) {
   if (name == "step_graph") return charmm::CharmmShape::kStepGraph;
   if (name == "step_graph_eager") return charmm::CharmmShape::kStepGraphEager;
+  if (name == "step_graph_arrival" || name == "arrival")
+    return charmm::CharmmShape::kStepGraphArrival;
   if (name == "merged") return charmm::CharmmShape::kMerged;
   if (name == "multiple") return charmm::CharmmShape::kMultiple;
   if (name == "engine") return charmm::CharmmShape::kEngine;
   throw Error("unknown --shape '" + name +
-              "' (step_graph | step_graph_eager | merged | multiple | "
-              "engine)");
+              "' (step_graph | step_graph_eager | step_graph_arrival | "
+              "merged | multiple | engine)");
 }
 
 inline dsmc::DsmcExecutor dsmc_executor_from(const std::string& name) {
   if (name == "step_graph") return dsmc::DsmcExecutor::kStepGraph;
   if (name == "step_graph_eager") return dsmc::DsmcExecutor::kStepGraphEager;
+  if (name == "step_graph_arrival" || name == "arrival")
+    return dsmc::DsmcExecutor::kStepGraphArrival;
   if (name == "imperative") return dsmc::DsmcExecutor::kImperative;
   throw Error("unknown --executor '" + name +
-              "' (step_graph | step_graph_eager | imperative)");
+              "' (step_graph | step_graph_eager | step_graph_arrival | "
+              "imperative)");
 }
 
 /// Reference-pattern families the schedule-compilation benches sweep: how
@@ -94,6 +99,12 @@ struct Options {
   std::optional<dsmc::DsmcExecutor> executor;
   std::optional<core::PartitionerKind> partitioner;
   std::optional<Pattern> pattern;
+  /// Machine-readable results: append one JSON record per measured
+  /// configuration to this path (`--json <path>` / `--json=<path>`).
+  std::string json;
+  /// Per-rank compute skew factor for benches that inject imbalance
+  /// (table10): the slow rank's compute is multiplied by this.
+  double skew = 4.0;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -114,6 +125,14 @@ struct Options {
         o.partitioner = partitioner_from(v);
       } else if (const char* v = value_of(argv[i], "--pattern")) {
         o.pattern = pattern_from(v);
+      } else if (const char* v = value_of(argv[i], "--json")) {
+        o.json = v;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        o.json = argv[++i];
+      } else if (const char* v = value_of(argv[i], "--skew")) {
+        o.skew = std::stod(v);
+      } else if (std::strcmp(argv[i], "--skew") == 0 && i + 1 < argc) {
+        o.skew = std::stod(argv[++i]);
       }
     }
     return o;

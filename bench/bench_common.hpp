@@ -8,8 +8,11 @@
 // happen — is. See EXPERIMENTS.md for the recorded comparison.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "args.hpp"
@@ -24,6 +27,37 @@ inline std::vector<std::string> num_row(const std::string& label,
   std::vector<std::string> row{label};
   for (double v : values) row.push_back(Table::num(v, precision));
   return row;
+}
+
+/// Append one machine-readable result record to `path` (JSON lines, one
+/// object per measured configuration):
+///   {"bench": ..., "config": ..., "ms_per_event": ..., "counters": {...}}
+/// No-op when path is empty (the `--json` flag was not given). Counter
+/// values are doubles so both timings and integer counters fit.
+inline void emit_json(
+    const std::string& path, const std::string& bench,
+    const std::string& config, double ms_per_event,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  if (path.empty()) return;
+  const auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  };
+  std::ostringstream os;
+  os << "{\"bench\": " << quote(bench) << ", \"config\": " << quote(config)
+     << ", \"ms_per_event\": " << ms_per_event << ", \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ", ";
+    os << quote(counters[i].first) << ": " << counters[i].second;
+  }
+  os << "}}";
+  std::ofstream f(path, std::ios::app);
+  CHAOS_CHECK(f.good(), "--json: cannot open '" + path + "' for append");
+  f << os.str() << "\n";
 }
 
 }  // namespace chaos::bench

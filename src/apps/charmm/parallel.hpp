@@ -26,6 +26,14 @@ enum class CharmmShape {
   /// The same step graph executed eagerly — post/flush/wait at every step.
   /// The bitwise reference arm for kStepGraph.
   kStepGraphEager,
+  /// Message-driven arm: the non-bonded compute is split into partition
+  /// chunks keyed by the gather schedule's recv peers, and each chunk
+  /// fires the moment its peer's ghost positions land instead of waiting
+  /// for the whole gather batch. The non-bonded chunks share one force
+  /// accumulator (conflicted), so this arm runs under a declared
+  /// EquivalenceTolerance — arrival order reorders the floating-point
+  /// accumulation within the declared bound.
+  kStepGraphArrival,
   /// One merged gather/scatter schedule for both force loops (Table 3 a).
   kMerged,
   /// Separate blocking schedules per loop (Table 3 b): duplicated fetches
@@ -114,6 +122,17 @@ struct ParallelCharmmResult {
   std::uint64_t steps_overlapped = 0;
   std::uint64_t pipelined_gathers = 0;
   std::uint64_t hazard_stalls = 0;
+
+  /// Message-driven execution accounting (kStepGraphArrival), summed over
+  /// ranks — unlike the arming counters above these are arrival-dependent
+  /// and genuinely differ per rank: chunks that fired while their step's
+  /// gather batch was still partially outstanding, sleeps for "any useful
+  /// message", color classes over built chunk plans, and pool worker
+  /// busy-time.
+  std::uint64_t chunks_fired_early = 0;
+  std::uint64_t arrival_wakeups = 0;
+  std::uint64_t color_classes = 0;
+  std::uint64_t pool_busy_ns = 0;
 
   /// Per-step wire traffic, summed over ranks (comm::Engine per-batch
   /// snapshots), attributing messages/bytes to individual steps.

@@ -18,6 +18,11 @@ using core::GlobalIndex;
 /// materialize loop temporaries; paper §5.2 and Table 7's total-time gap).
 constexpr double kCompilerForallOverhead = 0.55;
 
+/// Fixed chunk count of the arrival-driven collide split (the cell ranges
+/// adapt to the current owned-cell count; the count just bounds the wave
+/// width on the worker pool).
+constexpr std::size_t kCollideChunks = 4;
+
 class Driver {
  public:
   Driver(sim::Comm& comm, const ParallelDsmcConfig& cfg,
@@ -153,7 +158,7 @@ class Driver {
   /// arrival buffer in when the motion completes.
   void declare_graph() {
     graph_ = std::make_unique<StepGraph>(rt_);
-    graph_->set_pipelining(cfg_.executor == DsmcExecutor::kStepGraph);
+    graph_->set_pipelining(cfg_.executor != DsmcExecutor::kStepGraphEager);
     const auto collide_step = [this] {
       timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
     };
@@ -174,7 +179,26 @@ class Driver {
           .then(swap_arrivals);
       return;
     }
-    graph_->step("collide").bind(use(mine_)).compute(collide_step);
+    Step& collide = graph_->step("collide").bind(use(mine_));
+    if (cfg_.executor == DsmcExecutor::kStepGraphArrival) {
+      // Chunked collide: the serial prelude buckets particles into cells,
+      // then fixed-count chunks each process a disjoint cell range. No two
+      // cells share a particle, so the writes are disjoint — the chunks
+      // form one color class and run concurrently on the worker pool,
+      // bitwise identical to the serial arms.
+      graph_->set_arrival_driven(true);
+      collide.compute([this] {
+        timed(&DsmcPhaseTimes::collide, [&] { bucket_particles(); });
+      });
+      collide.compute_chunks(
+          kCollideChunks, [this](ChunkContext& ctx) { collide_chunk(ctx); });
+      collide.chunk_writes_disjoint();
+      collide.then([this] {
+        for (long long c : chunk_collisions_) collisions_ += c;
+      });
+    } else {
+      collide.compute(collide_step);
+    }
     graph_->step("move")
         .bind(update(mine_), update(dest_procs_))
         .compute(move_step)
@@ -187,8 +211,9 @@ class Driver {
     timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
   }
 
-  void collide_compute() {
-    const double t0 = comm_.now();
+  /// Serial bucketing shared by every collide arm: particles into their
+  /// cells' buckets (also resets the chunked arm's per-chunk counters).
+  void bucket_particles() {
     buckets_.assign(my_cells_.size(), {});
     for (Particle& q : mine_) {
       const GlobalIndex c = cell_of(p_, q);
@@ -198,6 +223,40 @@ class Driver {
     }
     comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerSort *
                       p_.work_scale);
+    chunk_collisions_.assign(kCollideChunks, 0);
+  }
+
+  /// One chunk of the collide phase: the cells in this chunk's share of
+  /// the owned-cell range. Runs on a pool worker — work is charged through
+  /// the context and collisions land in a per-chunk slot (summed by the
+  /// step's finalizer on the rank thread).
+  void collide_chunk(ChunkContext& ctx) {
+    const std::size_t n = ctx.chunk().count;
+    const std::size_t i = ctx.chunk().index;
+    const std::size_t ncells = my_cells_.size();
+    const std::size_t lo = ncells * i / n;
+    const std::size_t hi = ncells * (i + 1) / n;
+    long long done_total = 0;
+    double work = 0.0;
+    for (std::size_t s = lo; s < hi; ++s) {
+      auto& bucket = buckets_[s];
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Particle* a, const Particle* b) {
+                  return a->id < b->id;
+                });
+      const int done = collide_cell(p_, my_cells_[s], cur_step_, bucket);
+      done_total += done;
+      work += (kWorkPerCellVisit +
+               static_cast<double>(done) * kWorkPerCollision) *
+              p_.work_scale;
+    }
+    chunk_collisions_[i] = done_total;
+    ctx.charge(work);
+  }
+
+  void collide_compute() {
+    const double t0 = comm_.now();
+    bucket_particles();
 
     for (std::size_t s = 0; s < my_cells_.size(); ++s) {
       auto& bucket = buckets_[s];
@@ -408,6 +467,7 @@ class Driver {
   std::vector<std::int32_t> cell_slot_;  // cell -> local slot or -1
   std::vector<Particle> mine_;
   std::vector<std::vector<Particle*>> buckets_;
+  std::vector<long long> chunk_collisions_;  // arrival arm: per-chunk counts
   DistHandle rows_;   // compiler path: replicated rows distribution
   DistHandle paged_;  // regular path: paged translation table
 

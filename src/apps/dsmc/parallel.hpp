@@ -25,6 +25,12 @@ enum class DsmcExecutor {
   kStepGraph,
   /// The same graph, eager post/flush/wait — the bitwise reference arm.
   kStepGraphEager,
+  /// Arrival-driven arm: the collide phase is split into fixed-count cell
+  /// chunks with disjoint writes (one particle lives in exactly one cell),
+  /// so chunks run as concurrent waves on the graph's worker pool, and the
+  /// result stays bitwise identical to the serial arms (collision counts
+  /// sum; cell updates never overlap).
+  kStepGraphArrival,
   /// Hand-sequenced imperative cycle (the pre-graph fallback shape).
   kImperative,
 };

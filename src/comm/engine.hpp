@@ -39,7 +39,13 @@
 //
 // Determinism: incoming batches are consumed in post order and, within a
 // batch, in ascending peer order — the same combining order as the
-// blocking executor — so results are independent of OS scheduling.
+// blocking executor — so results are independent of OS scheduling. The
+// arrival-driven calls (test_peer / ready_peers / receive_any /
+// wait_arrival) relax that order ONLY for operations whose unpack provably
+// commutes (gather/transport: disjoint destination slots), so results stay
+// bitwise identical there too; order-dependent messages (scatter combines,
+// migrate appends) are always consumed in canonical order, whichever call
+// drives progress.
 // test() only consumes messages that have arrived in *modeled* time (the
 // mailbox probe is gated on this rank's virtual clock), so a probe can
 // never pull virtual time forward; a polling loop must charge its own
@@ -157,6 +163,48 @@ class Engine {
   /// and never blocks — an operation in a still-open batch reports false.
   bool test(CommHandle h);
 
+  // ---- per-peer completion (arrival-driven execution) -----------------
+  //
+  // A gather/transport operation's incoming segments land in disjoint
+  // destination slots, so delivering them in ANY order is bitwise
+  // identical — such operations are marked order-independent at post, and
+  // the calls below may consume their messages the moment they arrive in
+  // modeled time instead of in canonical FIFO/ascending-peer order.
+  // Scatter combines and migrate appends stay order-dependent: their
+  // messages are only ever consumed by the canonical in-order path, so
+  // arrival-driven progress never perturbs a floating-point combine order
+  // or an append order.
+
+  /// Non-blocking: have all of `h`'s segments from `peer` been delivered?
+  /// Drains any consumable messages first (order-independent ones in
+  /// arrival order, others in canonical order). True when `h` expects
+  /// nothing from `peer`.
+  bool test_peer(CommHandle h, int peer);
+
+  /// Non-blocking: the ascending list of peers `h` expects segments from
+  /// whose segments have all been delivered (drains like test_peer).
+  std::vector<int> ready_peers(CommHandle h);
+
+  /// Consume ONE message that (a) has arrived in modeled time and (b)
+  /// carries only order-independent segments; false when none qualifies.
+  bool receive_any();
+
+  /// Block until at least one message has been consumed: prefers the
+  /// earliest-arriving safe message physically queued (advancing this
+  /// rank's virtual clock to its modeled arrival), yields while sender
+  /// threads lag in real time, and falls back to one canonical blocking
+  /// receive when nothing order-independent is outstanding.
+  void wait_arrival();
+
+  /// Bookkeeping heap footprint (ops, batches, per-part completion state),
+  /// for Runtime::registry_bytes accounting.
+  std::size_t footprint_bytes() const;
+
+  /// Release drained bookkeeping (requires an idle engine; no-op
+  /// otherwise). Returns the bytes released. Invalidates old handles, like
+  /// the idle recycling at open_batch.
+  std::size_t compact();
+
   /// True when `h` has completed (no progress attempted).
   bool done(CommHandle h) const {
     CHAOS_CHECK(h.id < ops_.size(), "invalid comm handle");
@@ -212,10 +260,17 @@ class Engine {
   struct Op {
     std::uint32_t batch = kNone;
     std::size_t remaining = 0;  ///< incoming segments still to unpack
+    /// Unpacking this op's segments commutes (disjoint destination slots):
+    /// gather/transport. Order-dependent ops (scatter combines, migrate
+    /// appends) are only consumed by the canonical in-order path.
+    bool order_independent = false;
     /// Consumes the op's `part`-th expected segment (post order), so
     /// schedules with several blocks for the same peer resolve correctly.
     std::function<void(std::uint32_t part, std::span<const std::byte>)> unpack;
     std::shared_ptr<void> keepalive;  ///< e.g. the moved-in LightweightSchedule
+    // Per-part completion, indexed by part ordinal (test_peer/ready_peers).
+    std::vector<int> part_peer;
+    std::vector<bool> part_done;
   };
 
   struct Segment {
@@ -228,6 +283,7 @@ class Engine {
     int peer = -1;
     std::vector<Segment> segments;  ///< in post order
     std::size_t total_bytes = 0;
+    bool received = false;  ///< delivered (possibly out of canonical order)
   };
 
   struct Batch {
@@ -277,10 +333,14 @@ class Engine {
                  std::size_t bytes);
 
   /// Receive one pending coalesced message (FIFO batch order, ascending
-  /// peer within a batch) and unpack its segments. Blocking variant waits;
-  /// non-blocking returns false if the next message has not arrived (or
-  /// nothing is in flight).
+  /// peer within a batch, skipping entries receive_any already delivered)
+  /// and unpack its segments. Blocking variant waits; non-blocking returns
+  /// false if the next message has not arrived (or nothing is in flight).
   bool receive_one(bool blocking);
+
+  /// Every segment of this pending message belongs to an order-independent
+  /// op, so it may be delivered out of canonical order.
+  bool safe_out_of_order(const PeerIncoming& pi) const;
 
   void deliver(Batch& b, PeerIncoming& pi, std::span<const std::byte> payload);
 
@@ -303,6 +363,10 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
   const std::uint32_t batch_id = open_batch();
   const auto id = static_cast<std::uint32_t>(ops_.size());
   ops_.emplace_back();
+  // Transport recv blocks place into disjoint destination slots (each slot
+  // is fetched from exactly one owner), so segment delivery order cannot
+  // change the result — eligible for arrival-driven receives.
+  ops_.back().order_independent = true;
   Batch& b = batches_[batch_id];
 
   if (plan != nullptr)
@@ -314,47 +378,80 @@ CommHandle Engine::post_transport(const core::Schedule& sched,
   const core::ScheduleBlock* self_recv = nullptr;
 
   std::vector<T> buf;
-  for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
-    const auto& blk = sched.send_blocks()[bi];
-    if (blk.proc == me) {
-      self_send = &blk;
-      continue;
-    }
-    if (plan != nullptr) {
-      const compile::BlockPlan& bp = plan->send()[bi];
-      CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
-                  "compiled plan does not lower this schedule");
-      buf.resize(blk.indices.size());
-      compile::pack_block<T>(bp, src, buf.data());
-      comm_.charge_work(compile::block_work(bp, sizeof(T)));
-    } else {
-      buf.clear();
-      buf.reserve(blk.indices.size());
-      for (GlobalIndex i : blk.indices) {
-        CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
-                    "schedule send index outside source array");
-        buf.push_back(src[static_cast<std::size_t>(i)]);
+  if (plan != nullptr && !plan->send_groups().empty()) {
+    // Wire-grouped pack: consecutive same-peer blocks fused, boundary runs
+    // merged (identical wire bytes, fewer segment ops).
+    for (const compile::WireGroup& g : plan->send_groups()) {
+      if (g.proc == me) {
+        CHAOS_CHECK(g.nblocks == 1, "self blocks cannot be wire-grouped");
+        self_send = &sched.send_blocks()[g.first];
+        continue;
       }
-      comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+      buf.resize(static_cast<std::size_t>(g.fused.count));
+      compile::pack_block<T>(g.fused, src, buf.data());
+      comm_.charge_work(compile::block_work(g.fused, sizeof(T)));
+      stage_out(b, g.proc,
+                {reinterpret_cast<const std::byte*>(buf.data()),
+                 buf.size() * sizeof(T)});
     }
-    stage_out(b, blk.proc,
-              {reinterpret_cast<const std::byte*>(buf.data()),
-               buf.size() * sizeof(T)});
+  } else {
+    for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
+      const auto& blk = sched.send_blocks()[bi];
+      if (blk.proc == me) {
+        self_send = &blk;
+        continue;
+      }
+      if (plan != nullptr) {
+        const compile::BlockPlan& bp = plan->send()[bi];
+        CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
+                    "compiled plan does not lower this schedule");
+        buf.resize(blk.indices.size());
+        compile::pack_block<T>(bp, src, buf.data());
+        comm_.charge_work(compile::block_work(bp, sizeof(T)));
+      } else {
+        buf.clear();
+        buf.reserve(blk.indices.size());
+        for (GlobalIndex i : blk.indices) {
+          CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < src.size(),
+                      "schedule send index outside source array");
+          buf.push_back(src[static_cast<std::size_t>(i)]);
+        }
+        comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+      }
+      stage_out(b, blk.proc,
+                {reinterpret_cast<const std::byte*>(buf.data()),
+                 buf.size() * sizeof(T)});
+    }
   }
 
   std::vector<const core::ScheduleBlock*> in_blocks;   // post order
   std::vector<const compile::BlockPlan*> in_plans;     // parallel, may be null
-  for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
-    const auto& blk = sched.recv_blocks()[bi];
-    if (blk.proc == me) {
-      self_recv = &blk;
-      continue;
+  if (plan != nullptr && !plan->recv_groups().empty()) {
+    for (const compile::WireGroup& g : plan->recv_groups()) {
+      if (g.proc == me) {
+        CHAOS_CHECK(g.nblocks == 1, "self blocks cannot be wire-grouped");
+        self_recv = &sched.recv_blocks()[g.first];
+        continue;
+      }
+      expect_in(b, g.proc, id,
+                static_cast<std::uint32_t>(in_blocks.size()),
+                static_cast<std::size_t>(g.fused.count) * sizeof(T));
+      in_blocks.push_back(nullptr);  // grouped parts unpack via the plan
+      in_plans.push_back(&g.fused);
     }
-    expect_in(b, blk.proc, id,
-              static_cast<std::uint32_t>(in_blocks.size()),
-              blk.indices.size() * sizeof(T));
-    in_blocks.push_back(&blk);
-    in_plans.push_back(plan != nullptr ? &plan->recv()[bi] : nullptr);
+  } else {
+    for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
+      const auto& blk = sched.recv_blocks()[bi];
+      if (blk.proc == me) {
+        self_recv = &blk;
+        continue;
+      }
+      expect_in(b, blk.proc, id,
+                static_cast<std::uint32_t>(in_blocks.size()),
+                blk.indices.size() * sizeof(T));
+      in_blocks.push_back(&blk);
+      in_plans.push_back(plan != nullptr ? &plan->recv()[bi] : nullptr);
+    }
   }
 
   // Self-block: straight copy at post time, no messages.
@@ -419,41 +516,67 @@ CommHandle Engine::post_scatter_op(const core::Schedule& sched,
                 "compiled plan does not lower this schedule");
 
   std::vector<T> buf;
-  for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
-    const auto& blk = sched.recv_blocks()[bi];
-    CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
-    if (plan != nullptr) {
-      const compile::BlockPlan& bp = plan->recv()[bi];
-      CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
-                  "compiled plan does not lower this schedule");
-      buf.resize(blk.indices.size());
-      compile::pack_block<T>(bp, std::span<const T>{data.data(), data.size()},
+  if (plan != nullptr && !plan->recv_groups().empty()) {
+    for (const compile::WireGroup& g : plan->recv_groups()) {
+      CHAOS_CHECK(g.proc != me, "scatter does not support self-blocks");
+      buf.resize(static_cast<std::size_t>(g.fused.count));
+      compile::pack_block<T>(g.fused,
+                             std::span<const T>{data.data(), data.size()},
                              buf.data());
-      comm_.charge_work(compile::block_work(bp, sizeof(T)));
-    } else {
-      buf.clear();
-      buf.reserve(blk.indices.size());
-      for (GlobalIndex i : blk.indices) {
-        CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
-        buf.push_back(data[static_cast<std::size_t>(i)]);
-      }
-      comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+      comm_.charge_work(compile::block_work(g.fused, sizeof(T)));
+      stage_out(b, g.proc,
+                {reinterpret_cast<const std::byte*>(buf.data()),
+                 buf.size() * sizeof(T)});
     }
-    stage_out(b, blk.proc,
-              {reinterpret_cast<const std::byte*>(buf.data()),
-               buf.size() * sizeof(T)});
+  } else {
+    for (std::size_t bi = 0; bi < sched.recv_blocks().size(); ++bi) {
+      const auto& blk = sched.recv_blocks()[bi];
+      CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
+      if (plan != nullptr) {
+        const compile::BlockPlan& bp = plan->recv()[bi];
+        CHAOS_CHECK(bp.count == static_cast<GlobalIndex>(blk.indices.size()),
+                    "compiled plan does not lower this schedule");
+        buf.resize(blk.indices.size());
+        compile::pack_block<T>(bp,
+                               std::span<const T>{data.data(), data.size()},
+                               buf.data());
+        comm_.charge_work(compile::block_work(bp, sizeof(T)));
+      } else {
+        buf.clear();
+        buf.reserve(blk.indices.size());
+        for (GlobalIndex i : blk.indices) {
+          CHAOS_CHECK(i >= 0 && static_cast<std::size_t>(i) < data.size());
+          buf.push_back(data[static_cast<std::size_t>(i)]);
+        }
+        comm_.charge_work(core::costs::pack_work(buf.size(), sizeof(T)));
+      }
+      stage_out(b, blk.proc,
+                {reinterpret_cast<const std::byte*>(buf.data()),
+                 buf.size() * sizeof(T)});
+    }
   }
 
   std::vector<const core::ScheduleBlock*> in_blocks;  // post order
   std::vector<const compile::BlockPlan*> in_plans;    // parallel, may be null
-  for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
-    const auto& blk = sched.send_blocks()[bi];
-    CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
-    expect_in(b, blk.proc, id,
-              static_cast<std::uint32_t>(in_blocks.size()),
-              blk.indices.size() * sizeof(T));
-    in_blocks.push_back(&blk);
-    in_plans.push_back(plan != nullptr ? &plan->send()[bi] : nullptr);
+  if (plan != nullptr && !plan->send_groups().empty()) {
+    for (const compile::WireGroup& g : plan->send_groups()) {
+      CHAOS_CHECK(g.proc != me, "scatter does not support self-blocks");
+      expect_in(b, g.proc, id,
+                static_cast<std::uint32_t>(in_blocks.size()),
+                static_cast<std::size_t>(g.fused.count) * sizeof(T));
+      in_blocks.push_back(nullptr);  // grouped parts combine via the plan
+      in_plans.push_back(&g.fused);
+    }
+  } else {
+    for (std::size_t bi = 0; bi < sched.send_blocks().size(); ++bi) {
+      const auto& blk = sched.send_blocks()[bi];
+      CHAOS_CHECK(blk.proc != me, "scatter does not support self-blocks");
+      expect_in(b, blk.proc, id,
+                static_cast<std::uint32_t>(in_blocks.size()),
+                blk.indices.size() * sizeof(T));
+      in_blocks.push_back(&blk);
+      in_plans.push_back(plan != nullptr ? &plan->send()[bi] : nullptr);
+    }
   }
 
   Op& op = ops_[id];

@@ -65,6 +65,81 @@ void accumulate(SchedulePlan::Stats& st, const BlockPlan& b) {
   st.total_elements += static_cast<std::uint64_t>(b.count);
 }
 
+/// Append `next`'s lowered ops to `fused`, preserving wire order. The
+/// boundary pair merges when the tail run continues into the head run
+/// (same stride, continuing start — the cross-block run the per-block
+/// lowering cannot see) or when both boundary ops are residue (their index
+/// lists concatenate into one loop).
+void append_fused(BlockPlan& fused, const BlockPlan& next,
+                  std::uint64_t& cross_block_runs) {
+  const auto residue_base = static_cast<GlobalIndex>(fused.residue.size());
+  std::size_t skip = 0;
+  if (!fused.ops.empty() && !next.ops.empty()) {
+    SegmentOp& tail = fused.ops.back();
+    const SegmentOp& head = next.ops.front();
+    if (tail.stride != 0 && head.stride == tail.stride &&
+        head.start == tail.start + tail.stride * tail.len) {
+      tail.len += head.len;
+      ++cross_block_runs;
+      skip = 1;
+    } else if (tail.stride == 0 && head.stride == 0) {
+      // The tail residue op's indices end exactly at residue_base, so the
+      // head's (appended right there) continue it contiguously.
+      tail.len += head.len;
+      skip = 1;
+    }
+  }
+  for (std::size_t k = skip; k < next.ops.size(); ++k) {
+    SegmentOp op = next.ops[k];
+    if (op.stride == 0) op.start += residue_base;
+    fused.ops.push_back(op);
+  }
+  fused.residue.insert(fused.residue.end(), next.residue.begin(),
+                       next.residue.end());
+  if (next.count > 0) {
+    if (fused.count == 0) {
+      fused.lo = next.lo;
+      fused.hi = next.hi;
+    } else {
+      fused.lo = std::min(fused.lo, next.lo);
+      fused.hi = std::max(fused.hi, next.hi);
+    }
+  }
+  fused.count += next.count;
+}
+
+/// Group one direction's blocks by runs of consecutive equal peers. Leaves
+/// `groups` empty when every group would be a singleton, so the engine's
+/// per-block path keeps running unchanged for built schedules.
+void build_direction(const std::vector<core::ScheduleBlock>& blks,
+                     const std::vector<BlockPlan>& plans,
+                     std::vector<WireGroup>& groups,
+                     SchedulePlan::Stats& stats) {
+  groups.clear();
+  bool adjacent = false;
+  for (std::size_t i = 1; i < blks.size(); ++i)
+    if (blks[i].proc == blks[i - 1].proc) {
+      adjacent = true;
+      break;
+    }
+  if (!adjacent) return;
+  std::size_t i = 0;
+  while (i < blks.size()) {
+    WireGroup g;
+    g.proc = blks[i].proc;
+    g.first = i;
+    g.fused = plans[i];
+    std::size_t j = i + 1;
+    while (j < blks.size() && blks[j].proc == g.proc) {
+      append_fused(g.fused, plans[j], stats.cross_block_runs);
+      ++j;
+    }
+    g.nblocks = j - i;
+    groups.push_back(std::move(g));
+    i = j;
+  }
+}
+
 }  // namespace
 
 SchedulePlan SchedulePlan::compile(const core::Schedule& sched, Options opt) {
@@ -80,6 +155,7 @@ SchedulePlan SchedulePlan::compile(const core::Schedule& sched, Options opt) {
     plan.recv_.push_back(lower_block(b, opt));
     accumulate(plan.stats_, plan.recv_.back());
   }
+  plan.build_groups(sched);
   return plan;
 }
 
@@ -96,7 +172,13 @@ SchedulePlan SchedulePlan::carry_patched(const SchedulePlan& prior,
     plan.recv_.push_back(lower_block(b, opt));
     accumulate(plan.stats_, plan.recv_.back());
   }
+  plan.build_groups(patched);
   return plan;
+}
+
+void SchedulePlan::build_groups(const core::Schedule& sched) {
+  build_direction(sched.send_blocks(), send_, send_groups_, stats_);
+  build_direction(sched.recv_blocks(), recv_, recv_groups_, stats_);
 }
 
 std::size_t SchedulePlan::footprint_bytes() const {
@@ -106,6 +188,13 @@ std::size_t SchedulePlan::footprint_bytes() const {
     for (const BlockPlan& b : *side) {
       n += b.ops.capacity() * sizeof(SegmentOp);
       n += b.residue.capacity() * sizeof(GlobalIndex);
+    }
+  }
+  for (const std::vector<WireGroup>* side : {&send_groups_, &recv_groups_}) {
+    n += side->capacity() * sizeof(WireGroup);
+    for (const WireGroup& g : *side) {
+      n += g.fused.ops.capacity() * sizeof(SegmentOp);
+      n += g.fused.residue.capacity() * sizeof(GlobalIndex);
     }
   }
   return n;

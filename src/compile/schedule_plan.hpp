@@ -82,6 +82,22 @@ struct BlockPlan {
   }
 };
 
+/// One or more CONSECUTIVE schedule blocks addressed to the same peer,
+/// fused into a single wire segment. Built schedules emit one block per
+/// peer, so groups normally degenerate to singletons and the group lists
+/// stay empty; hand-constructed schedules (and future hierarchical
+/// schedules) may interleave several blocks per peer, and fusing them lets
+/// a run that spans a block boundary become one segment op — the PR-6
+/// leftover ("run detection across block boundaries"). Fusion preserves
+/// wire order exactly, so grouped execution is bitwise identical to
+/// per-block execution.
+struct WireGroup {
+  int proc = -1;
+  std::size_t first = 0;    ///< index of the group's first schedule block
+  std::size_t nblocks = 1;  ///< consecutive blocks covered
+  BlockPlan fused;          ///< concatenated plan, boundary runs merged
+};
+
 /// The compiled form of a whole Schedule: one BlockPlan per ScheduleBlock,
 /// in block order (send()[i] lowers sched.send_blocks()[i]).
 class SchedulePlan {
@@ -91,6 +107,10 @@ class SchedulePlan {
     std::uint64_t run_elements = 0;      ///< elements covered by runs
     std::uint64_t residue_elements = 0;  ///< elements left on index lists
     std::uint64_t total_elements = 0;
+    /// Boundary fusions where one block's tail run continued into the next
+    /// block's head run (same stride, continuing start) and the two ops
+    /// merged into one.
+    std::uint64_t cross_block_runs = 0;
   };
 
   /// Lower every block of `sched` (both directions, self-blocks included).
@@ -106,6 +126,14 @@ class SchedulePlan {
 
   const std::vector<BlockPlan>& send() const { return send_; }
   const std::vector<BlockPlan>& recv() const { return recv_; }
+
+  /// Wire groups per direction. EMPTY when every group would be a
+  /// singleton (the built-schedule common case: one block per peer) — the
+  /// engine then runs its ordinary per-block path with zero overhead.
+  /// Non-empty lists cover every block of the direction in order.
+  const std::vector<WireGroup>& send_groups() const { return send_groups_; }
+  const std::vector<WireGroup>& recv_groups() const { return recv_groups_; }
+
   const Stats& stats() const { return stats_; }
 
   /// Approximate heap footprint, for registry memory accounting
@@ -113,8 +141,12 @@ class SchedulePlan {
   std::size_t footprint_bytes() const;
 
  private:
+  void build_groups(const core::Schedule& sched);
+
   std::vector<BlockPlan> send_;
   std::vector<BlockPlan> recv_;
+  std::vector<WireGroup> send_groups_;
+  std::vector<WireGroup> recv_groups_;
   Stats stats_;
 };
 

@@ -487,6 +487,19 @@ class Runtime {
 
  private:
   friend class LoopBuilder;
+  friend class StepGraph;
+
+  /// StepGraph self-registration (ctor/dtor), so registry_bytes/compact can
+  /// account and release the graphs' cached chunk plans and color tables.
+  void register_graph(StepGraph* g) { graphs_.push_back(g); }
+  void unregister_graph(StepGraph* g) {
+    for (std::size_t i = 0; i < graphs_.size(); ++i)
+      if (graphs_[i] == g) {
+        graphs_.erase(graphs_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+  }
 
   enum class ScheduleKind { kLoop, kMerged, kIncremental, kRemap, kOnce };
 
@@ -553,6 +566,9 @@ class Runtime {
   // schedules stored in these entries, so creating new schedules while
   // operations are in flight must not move existing ones.
   std::deque<ScheduleEntry> scheds_;
+
+  /// Registered step graphs (must be destroyed before the Runtime).
+  std::vector<StepGraph*> graphs_;
 
   // Dedup keys so repeated bind/inspect/merge calls reuse handles.
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> loop_keys_;

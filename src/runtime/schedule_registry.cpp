@@ -122,6 +122,7 @@ void ScheduleRegistry::note_external_compile(
   stats_.runs_detected += s.run_ops;
   stats_.run_elements += s.run_elements;
   stats_.residue_elements += s.residue_elements;
+  stats_.cross_block_runs += s.cross_block_runs;
 }
 
 std::vector<GlobalIndex> ScheduleRegistry::remap_ghost_locality(

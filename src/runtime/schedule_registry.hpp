@@ -110,6 +110,9 @@ class ScheduleRegistry {
     std::uint64_t runs_detected = 0;     ///< segment ops covering runs
     std::uint64_t run_elements = 0;      ///< elements inside runs
     std::uint64_t residue_elements = 0;  ///< elements left to index lists
+    /// Runs that continued across a block boundary and were fused into one
+    /// segment op by wire grouping (multi-block-per-peer schedules only).
+    std::uint64_t cross_block_runs = 0;
     /// Compiled plans carried across a repartition by seed_from (send side
     /// reused verbatim, recv side re-lowered — no full recompile).
     std::uint64_t carried_compiled_plans = 0;

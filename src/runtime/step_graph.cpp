@@ -23,6 +23,8 @@ void add_traffic(comm::Engine::Traffic& acc,
 
 }  // namespace
 
+StepGraph::~StepGraph() { rt_.unregister_graph(this); }
+
 Step& StepGraph::step(std::string name) {
   steps_.emplace_back(Step::Key{}, std::move(name), steps_.size());
   return steps_.back();
@@ -385,6 +387,194 @@ void StepGraph::wait_conflicting_writes(
   }
 }
 
+// ---- chunked (partition-granular) execution ---------------------------
+
+bool StepGraph::use_arrival(const Step& s) const {
+  if (!arrival_driven_ || !s.chunk_fn_) return false;
+  // Conflicted chunks fired in arrival order reorder their floating-point
+  // combines; without a declared tolerance the static path is the only
+  // defensible arm, so fall back silently rather than change semantics.
+  return s.chunk_disjoint_ || tolerance_.has_value();
+}
+
+void StepGraph::build_chunk_plan(Step& s) {
+  if (s.chunk_plan_valid_) return;
+  s.chunk_peers_.clear();
+  if (s.chunk_count_ > 0) {
+    s.chunk_peers_.assign(s.chunk_count_, -1);
+  } else {
+    CHAOS_CHECK(!s.gathers_.empty(),
+                "step '" + s.name_ +
+                    "': compute_chunks without gathers needs an explicit "
+                    "chunk count — use compute_chunks(n, fn)");
+    // One chunk per remote peer the gathers receive from, keyed off the
+    // schedules' recv blocks, plus the local chunk (owned data and
+    // self-block ghosts) in front.
+    const int me = rt_.comm().rank();
+    s.chunk_peers_.push_back(-1);
+    std::vector<int> peers;
+    for (const Step::CommAccess& g : s.gathers_)
+      for (const core::ScheduleBlock& b : rt_.schedule(g.via).recv_blocks())
+        if (b.proc != me) peers.push_back(b.proc);
+    std::sort(peers.begin(), peers.end());
+    peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+    s.chunk_peers_.insert(s.chunk_peers_.end(), peers.begin(), peers.end());
+  }
+  // Conflict graph at chunk granularity from the declared access sets:
+  // chunk_writes_disjoint() means no two chunks share an output element
+  // (empty graph); otherwise every pair may collide in the step's written
+  // arrays (complete graph — whole-array access declarations cannot prove
+  // anything finer). Greedy coloring in canonical order.
+  const std::size_t n = s.chunk_peers_.size();
+  const auto conflicts = [&](std::size_t, std::size_t) {
+    return !s.chunk_disjoint_;
+  };
+  s.chunk_colors_.assign(n, 0);
+  int ncolors = 0;
+  std::vector<char> used;
+  for (std::size_t i = 0; i < n; ++i) {
+    used.assign(static_cast<std::size_t>(ncolors) + 1, 0);
+    for (std::size_t j = 0; j < i; ++j)
+      if (conflicts(i, j)) used[static_cast<std::size_t>(s.chunk_colors_[j])] = 1;
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    s.chunk_colors_[i] = c;
+    ncolors = std::max(ncolors, c + 1);
+  }
+  s.chunk_ncolors_ = ncolors;
+  stats_.color_classes += static_cast<std::uint64_t>(ncolors);
+  s.chunk_plan_valid_ = true;
+}
+
+void StepGraph::run_chunks_serial(Step& s) {
+  build_chunk_plan(s);
+  const std::size_t n = s.chunk_peers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ChunkContext ctx;
+    ctx.chunk_ = Chunk{s.chunk_peers_[i], i, n};
+    s.chunk_fn_(ctx);
+    rt_.comm().charge_work(ctx.work_);
+  }
+}
+
+void StepGraph::run_wave(Step& s, std::span<const std::size_t> wave) {
+  const std::size_t n = s.chunk_peers_.size();
+  if (wave.size() > 1 && worker_threads_ > 1) {
+    if (!pool_)
+      pool_ = std::make_unique<runtime::TaskPool>(worker_threads_);
+    std::vector<ChunkContext> ctxs(wave.size());
+    const std::uint64_t busy_before = pool_->busy_ns();
+    for (std::size_t k = 0; k < wave.size(); ++k) {
+      ctxs[k].chunk_ = Chunk{s.chunk_peers_[wave[k]], wave[k], n};
+      ChunkContext* ctx = &ctxs[k];
+      const auto* fn = &s.chunk_fn_;
+      pool_->submit([fn, ctx] { (*fn)(*ctx); });
+    }
+    pool_->wait_idle();
+    stats_.pool_busy_ns += pool_->busy_ns() - busy_before;
+    // Modeled cost of the threaded wave: its critical path — never better
+    // than the biggest chunk, never better than perfect division across
+    // the pool.
+    double total = 0.0;
+    double biggest = 0.0;
+    for (const ChunkContext& ctx : ctxs) {
+      total += ctx.work_;
+      biggest = std::max(biggest, ctx.work_);
+    }
+    rt_.comm().charge_work(
+        std::max(biggest, total / static_cast<double>(worker_threads_)));
+  } else {
+    for (std::size_t idx : wave) {
+      ChunkContext ctx;
+      ctx.chunk_ = Chunk{s.chunk_peers_[idx], idx, n};
+      s.chunk_fn_(ctx);
+      rt_.comm().charge_work(ctx.work_);
+    }
+  }
+}
+
+void StepGraph::run_chunks_arrival(Step& s) {
+  build_chunk_plan(s);
+  const std::size_t n = s.chunk_peers_.size();
+  // A chunk is eligible once every gather operation has delivered its
+  // peer's segments (the local chunk never waits on the wire).
+  const auto eligible = [&](std::size_t i) {
+    const int peer = s.chunk_peers_[i];
+    if (peer < 0) return true;
+    for (comm::CommHandle h : s.gather_handles_)
+      if (!rt_.engine().test_peer(h, peer)) return false;
+    return true;
+  };
+  std::vector<char> done(n, 0);
+  std::size_t remaining = n;
+  std::vector<std::size_t> wave;
+  while (remaining > 0) {
+    std::size_t first = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!done[i] && eligible(i)) {
+        first = i;
+        break;
+      }
+    if (first == n) {
+      // Nothing armed: sleep until any useful message lands, not until a
+      // specific batch position completes.
+      rt_.engine().wait_arrival();
+      ++stats_.arrival_wakeups;
+      continue;
+    }
+    // The wave: every currently-eligible chunk in the first one's color
+    // class; the coloring proves they cannot write the same element, so
+    // they may run concurrently on the pool.
+    wave.clear();
+    const int color = s.chunk_colors_[first];
+    for (std::size_t i = 0; i < n; ++i)
+      if (!done[i] && s.chunk_colors_[i] == color &&
+          (i == first || eligible(i)))
+        wave.push_back(i);
+    bool gathers_outstanding = false;
+    for (comm::CommHandle h : s.gather_handles_)
+      if (!rt_.engine().test(h)) {
+        gathers_outstanding = true;
+        break;
+      }
+    if (gathers_outstanding)
+      stats_.chunks_fired_early +=
+          static_cast<std::uint64_t>(wave.size());
+    run_wave(s, wave);
+    for (std::size_t i : wave) {
+      done[i] = 1;
+      --remaining;
+    }
+  }
+  // All chunks ran; settle the handles (everything has been delivered, so
+  // this is bookkeeping, not a stall) and disarm.
+  wait_gathers(s);
+}
+
+std::size_t StepGraph::footprint_bytes() const {
+  std::size_t n = 0;
+  for (const Step& s : steps_) {
+    n += s.chunk_peers_.capacity() * sizeof(int);
+    n += s.chunk_colors_.capacity() * sizeof(int);
+  }
+  if (pool_) n += sizeof(runtime::TaskPool);
+  return n;
+}
+
+std::size_t StepGraph::release_chunk_plans() {
+  const std::size_t released = footprint_bytes();
+  for (Step& s : steps_) {
+    // Move-assign from empty temporaries: `= {}` would pick the
+    // initializer-list overload, which clears but keeps the capacity.
+    s.chunk_peers_ = std::vector<int>();
+    s.chunk_colors_ = std::vector<int>();
+    s.chunk_ncolors_ = 0;
+    s.chunk_plan_valid_ = false;
+  }
+  pool_.reset();
+  return released;
+}
+
 void StepGraph::advance(bool arm_next_iteration) {
   CHAOS_CHECK(!steps_.empty(), "step graph has no steps");
   for (Step& s : steps_) s.resolve();
@@ -399,7 +589,11 @@ void StepGraph::advance(bool arm_next_iteration) {
       wait_conflicting_writes(arrays);
       post_gathers(s, /*early=*/false);
     }
-    wait_gathers(s);
+    // Arrival-driven chunked steps skip the whole-batch wait: their
+    // chunks fire as partitions land (run_chunks_arrival settles the
+    // handles itself).
+    const bool arrival = use_arrival(s);
+    if (!arrival) wait_gathers(s);
     // WAR/WAW: outstanding write batches on anything the compute or this
     // step's write packing touches must deliver first.
     const std::vector<const void*> touch = compute_touch(s);
@@ -407,6 +601,12 @@ void StepGraph::advance(bool arm_next_iteration) {
     for (Step::CommAccess& w : s.writes_)
       if (w.prepare) w.prepare(rt_, w.via);
     if (s.compute_) s.compute_();
+    if (s.chunk_fn_) {
+      if (arrival)
+        run_chunks_arrival(s);
+      else
+        run_chunks_serial(s);
+    }
     post_writes(s);
     if (!pipelining_) wait_writes(s);
   }
@@ -428,6 +628,9 @@ void StepGraph::retarget(ScheduleHandle from, ScheduleHandle to) {
   quiesce();
   for (Step& s : steps_) {
     s.resolve();
+    // The successor epoch's schedules receive from a different peer set;
+    // rebuild the chunk plan lazily on the next advance.
+    s.chunk_plan_valid_ = false;
     for (auto* list : {&s.gathers_, &s.writes_}) {
       for (Step::CommAccess& a : *list) {
         // Re-arming onto the successor epoch accepts the arrays' current

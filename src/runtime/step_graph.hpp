@@ -50,9 +50,12 @@
 // low-level escape hatch for patterns the declaration set cannot express.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -62,10 +65,55 @@
 #include "lang/access.hpp"
 #include "lang/array.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/task_pool.hpp"
 
 namespace chaos {
 
 class StepGraph;
+
+/// Accepted numeric deviation for the tolerance-checked arrival arm:
+/// |a - b| <= abs + rel * max(|a|, |b|). Required before a conflicted
+/// chunked step (shared accumulators, e.g. a scatter_add force array) may
+/// run arrival-driven — arrival order legitimately reorders its
+/// floating-point combines, so bitwise equality with the eager arm is the
+/// wrong contract and this bound is the right one.
+struct EquivalenceTolerance {
+  double abs = 0.0;
+  double rel = 0.0;
+  bool within(double a, double b) const {
+    const double diff = std::abs(a - b);
+    return diff <= abs + rel * std::max(std::abs(a), std::abs(b));
+  }
+};
+
+/// Identity of one compute chunk within a chunked step. Chunks are keyed
+/// by the peer whose gathered partition they consume (`peer == -1` is the
+/// local chunk: owned data plus self-block ghosts, never waiting on the
+/// wire); fixed-count chunked steps (compute_chunks(n, fn)) number their
+/// chunks with peer == -1 throughout. Canonical chunk order — the order
+/// the eager/static arms execute, and the bitwise reference — is the
+/// local chunk first, then ascending peer.
+struct Chunk {
+  int peer = -1;
+  std::size_t index = 0;  ///< ordinal in canonical order
+  std::size_t count = 0;  ///< chunks in this step
+};
+
+/// Handed to a chunk callback. charge() accumulates the chunk's modeled
+/// work into a slot private to this chunk, so callbacks running on pool
+/// workers never touch the rank's sim::Comm (whose accounting is not
+/// thread-safe); the graph charges the rank clock when the chunk — or the
+/// concurrent wave it ran in — completes.
+class ChunkContext {
+ public:
+  const Chunk& chunk() const { return chunk_; }
+  void charge(double work_units) { work_ += work_units; }
+
+ private:
+  friend class StepGraph;
+  Chunk chunk_;
+  double work_ = 0.0;
+};
 
 /// One declared step: communication accesses around one compute callback.
 /// Created by StepGraph::step(); references into it stay valid for the
@@ -236,6 +284,44 @@ class Step {
     return *this;
   }
 
+  // ---- partition-granular (chunked) compute ---------------------------
+
+  /// Split this step's compute into partition chunks keyed by the gather
+  /// schedules' recv blocks: one local chunk (peer == -1, owned data plus
+  /// self-block ghosts) plus one chunk per remote peer the step's gathers
+  /// receive from. Under arrival-driven execution a chunk fires the moment
+  /// its peer's segments land; under the eager/static arms chunks run
+  /// serially in canonical order (local first, then ascending peer) — the
+  /// bitwise oracle. An optional compute() callback becomes the serial
+  /// prelude that runs before any chunk.
+  Step& compute_chunks(std::function<void(ChunkContext&)> fn) {
+    chunk_fn_ = std::move(fn);
+    chunk_count_ = 0;  // derive from the gather schedules' recv blocks
+    return *this;
+  }
+
+  /// Fixed-count flavor for steps whose natural partition is not a comm
+  /// schedule (e.g. DSMC cell ranges): `n` chunks, all peer == -1, always
+  /// immediately eligible — arrival-driven execution still runs them as
+  /// concurrent waves when the writes are declared disjoint.
+  Step& compute_chunks(std::size_t n, std::function<void(ChunkContext&)> fn) {
+    CHAOS_CHECK(n > 0, "compute_chunks: need at least one chunk");
+    chunk_fn_ = std::move(fn);
+    chunk_count_ = n;
+    return *this;
+  }
+
+  /// Declare that no two chunks write the same element (disjoint output
+  /// slots). This is what licenses running a whole color class concurrently
+  /// on the worker pool AND keeps arrival order bitwise-irrelevant — the
+  /// order-independent arm. Without it chunks are conservatively assumed
+  /// conflicted: they serialize, and arrival-driven execution additionally
+  /// requires an EquivalenceTolerance (reordered floating-point combines).
+  Step& chunk_writes_disjoint() {
+    chunk_disjoint_ = true;
+    return *this;
+  }
+
   /// Runs when this step's write accesses have completed (immediately
   /// after the compute when the step has none) — e.g. swapping a migrate's
   /// arrival buffer into place.
@@ -309,6 +395,16 @@ class Step {
   std::function<void()> compute_;
   std::function<void()> finalize_;
 
+  // Chunked-compute declaration and its cached plan (built lazily by
+  // StepGraph::build_chunk_plan, invalidated by retarget).
+  std::function<void(ChunkContext&)> chunk_fn_;
+  std::size_t chunk_count_ = 0;  ///< 0: derive from gather recv blocks
+  bool chunk_disjoint_ = false;
+  std::vector<int> chunk_peers_;   ///< canonical order: -1 then ascending
+  std::vector<int> chunk_colors_;  ///< greedy conflict-graph coloring
+  int chunk_ncolors_ = 0;
+  bool chunk_plan_valid_ = false;
+
   // Execution state, driven by StepGraph.
   std::vector<comm::CommHandle> gather_handles_;
   std::vector<comm::CommHandle> write_handles_;
@@ -320,7 +416,8 @@ class Step {
 
 class StepGraph {
  public:
-  explicit StepGraph(Runtime& rt) : rt_(rt) {}
+  explicit StepGraph(Runtime& rt) : rt_(rt) { rt_.register_graph(this); }
+  ~StepGraph();
   StepGraph(const StepGraph&) = delete;
   StepGraph& operator=(const StepGraph&) = delete;
 
@@ -341,6 +438,34 @@ class StepGraph {
   /// post/flush/wait at every step — the bitwise reference arm.
   void set_pipelining(bool on) { pipelining_ = on; }
   bool pipelining() const { return pipelining_; }
+
+  /// Arrival-driven switch. On: chunked steps stop waiting for the whole
+  /// gather batch and fire each chunk the moment its peer's segments land
+  /// (comm::Engine::test_peer / wait_arrival); same-color chunks run
+  /// concurrently on the worker pool. Only steps whose chunks are provably
+  /// order-independent (chunk_writes_disjoint) run this way unchecked —
+  /// their results stay bitwise identical to the eager arm. Conflicted
+  /// chunked steps additionally need set_tolerance (the tolerance-checked
+  /// arm); without one they silently fall back to the static path.
+  void set_arrival_driven(bool on) { arrival_driven_ = on; }
+  bool arrival_driven() const { return arrival_driven_; }
+
+  /// Declare the accepted deviation for conflicted chunked steps under
+  /// arrival-driven execution (see EquivalenceTolerance).
+  void set_tolerance(EquivalenceTolerance tol) { tolerance_ = tol; }
+  const std::optional<EquivalenceTolerance>& tolerance() const {
+    return tolerance_;
+  }
+
+  /// Size of the intra-rank worker pool concurrent chunk waves run on
+  /// (default 2; 1 disables threading — waves run inline). The pool is
+  /// created lazily on the first threaded wave.
+  void set_worker_threads(int n) {
+    CHAOS_CHECK(n >= 1, "worker threads must be >= 1");
+    worker_threads_ = n;
+    pool_.reset();  // re-created at the new size on next use
+  }
+  int worker_threads() const { return worker_threads_; }
 
   /// Execute every step once, in declaration order. Leaves the pipeline
   /// hot: trailing writes (and next-iteration gathers) may still be in
@@ -376,8 +501,30 @@ class StepGraph {
     std::uint64_t hazard_stalls = 0;
     std::uint64_t retargets = 0;
     std::uint64_t quiesces = 0;
+    /// Chunks that fired while their step's gather batch was still
+    /// partially outstanding — the message-driven wins a whole-batch wait
+    /// would have stalled.
+    std::uint64_t chunks_fired_early = 0;
+    /// wait_arrival calls: times a rank slept for "any useful message"
+    /// instead of a specific batch position.
+    std::uint64_t arrival_wakeups = 0;
+    /// Sum of color-class counts over built chunk plans (1 per plan means
+    /// every chunked step was fully conflict-free).
+    std::uint64_t color_classes = 0;
+    /// Wall-clock nanoseconds pool workers spent running chunk callbacks.
+    std::uint64_t pool_busy_ns = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Bytes of auxiliary state this graph holds beyond the declarations
+  /// themselves: cached chunk plans (peer/color tables) and the worker
+  /// pool bookkeeping. Folded into Runtime::registry_bytes().
+  std::size_t footprint_bytes() const;
+
+  /// Drop every cached chunk plan (rebuilt lazily on next advance) and the
+  /// worker pool; returns the bytes released. Runtime::compact() calls
+  /// this — only invoked when the graph is quiesced.
+  std::size_t release_chunk_plans();
 
  private:
   std::vector<const void*> gather_touch(const Step& s) const;
@@ -397,8 +544,19 @@ class StepGraph {
   void wait_writes(Step& s);
   void wait_conflicting_writes(std::span<const void* const> arrays);
 
+  /// Chunked execution (tentpole: message-driven step execution).
+  bool use_arrival(const Step& s) const;
+  void build_chunk_plan(Step& s);
+  void run_chunks_serial(Step& s);
+  void run_chunks_arrival(Step& s);
+  void run_wave(Step& s, std::span<const std::size_t> wave);
+
   Runtime& rt_;
   bool pipelining_ = true;
+  bool arrival_driven_ = false;
+  std::optional<EquivalenceTolerance> tolerance_;
+  int worker_threads_ = 2;
+  std::unique_ptr<runtime::TaskPool> pool_;
   std::deque<Step> steps_;
   /// Steps with a posted, un-waited write batch, in post (FIFO) order.
   std::vector<std::size_t> posted_write_order_;

@@ -1,0 +1,78 @@
+#include "runtime/task_pool.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+
+namespace chaos::runtime {
+
+TaskPool::TaskPool(int threads) {
+  CHAOS_CHECK(threads >= 1, "task pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --active_;
+      idle = queue_.empty() && active_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace chaos::runtime

@@ -75,6 +75,18 @@ bool Comm::try_recv_bytes(int src, int tag, std::vector<std::byte>& out) {
   return true;
 }
 
+std::optional<double> Comm::peek_arrival(int src, int tag) {
+  CHAOS_CHECK(src >= 0 && src < nranks_, "peek source out of range");
+  return m_.mailboxes_[static_cast<std::size_t>(rank_)]->peek_arrival(src,
+                                                                      tag);
+}
+
+void Comm::wait_until(double t) {
+  if (t <= st_.clock) return;
+  st_.comm_s += t - st_.clock;
+  st_.clock = t;
+}
+
 void Comm::publish_bytes(std::span<const std::byte> bytes) {
   auto& slot = m_.stage_[static_cast<std::size_t>(rank_)];
   slot.assign(bytes.begin(), bytes.end());
@@ -130,6 +142,12 @@ Machine::Machine(int nranks, CostParams params)
   stage_.resize(static_cast<std::size_t>(nranks));
   stage_clock_.resize(static_cast<std::size_t>(nranks), 0.0);
   final_stats_.resize(static_cast<std::size_t>(nranks));
+}
+
+void Machine::set_delivery_permutation(std::uint64_t seed, double spread) {
+  jitter_seed_ = seed;
+  jitter_spread_ = spread;
+  for (auto& mb : mailboxes_) mb->set_delivery_jitter(seed, spread);
 }
 
 void Machine::phase_sync() {
@@ -192,8 +210,11 @@ void Machine::run(const std::function<void(Comm&)>& body) {
   if (leaked && first_error_.empty())
     first_error_ = "run finished with undelivered messages";
   if (leaked) {
-    for (int r = 0; r < nranks_; ++r)
+    for (int r = 0; r < nranks_; ++r) {
       mailboxes_[static_cast<std::size_t>(r)] = std::make_unique<Mailbox>();
+      mailboxes_[static_cast<std::size_t>(r)]->set_delivery_jitter(
+          jitter_seed_, jitter_spread_);
+    }
   }
 
   if (!first_error_.empty()) throw Error(first_error_);

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -133,6 +134,17 @@ class Comm {
     if (!bytes.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return true;
   }
+
+  /// Earliest modeled arrival among messages from (src, tag) that are
+  /// physically queued at this rank, or nullopt when none is queued yet.
+  /// Free of charge and never moves the clock: the comm engine's
+  /// arrival-driven wait peeks to decide how far virtual time must advance
+  /// before the next interesting message becomes consumable.
+  std::optional<double> peek_arrival(int src, int tag);
+
+  /// Advance this rank's virtual clock to at least `t` (no-op when already
+  /// past); the advance is idle wait, charged to comm_s.
+  void wait_until(double t);
 
   /// Comm-engine accounting hook: one physical coalesced message just left
   /// this rank carrying `segments` logical per-schedule segments of `bytes`
@@ -394,6 +406,13 @@ class Machine {
   /// at each call.
   void run(const std::function<void(Comm&)>& body);
 
+  /// Arm the arrival-order fuzzing hook on every mailbox: each pushed
+  /// message's modeled arrival is delayed by a deterministic hash of
+  /// (seed, src, tag) scaled into [0, spread) seconds, permuting the
+  /// delivery order of concurrently in-flight messages without touching
+  /// any payload. spread <= 0 disarms. Call between runs only.
+  void set_delivery_permutation(std::uint64_t seed, double spread);
+
   /// Per-rank accounting from the most recent run.
   const RankStats& stats(int rank) const {
     CHAOS_CHECK(rank >= 0 && rank < nranks_);
@@ -416,6 +435,8 @@ class Machine {
   int nranks_;
   CostModel model_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::uint64_t jitter_seed_ = 0;
+  double jitter_spread_ = 0.0;
 
   // Staging area for collectives (one slot per rank, two-phase protocol).
   std::vector<std::vector<std::byte>> stage_;

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -29,9 +30,50 @@ class Mailbox {
   void push(Message m) {
     {
       std::lock_guard<std::mutex> lk(mu_);
+      if (jitter_spread_ > 0.0) {
+        // Delivery-permutation hook (arrival-order fuzzing): delay this
+        // message's modeled arrival by a deterministic hash of (seed, src,
+        // tag). Different seeds permute the arrival order of concurrently
+        // in-flight messages; data is untouched, so order-independence
+        // tests can assert bitwise equality across permutations. The hash
+        // depends only on the message identity, never on real-time push
+        // order, so a fuzzed run is still deterministic.
+        std::uint64_t h = jitter_seed_;
+        h ^= static_cast<std::uint64_t>(m.src) * 0x9e3779b97f4a7c15ull;
+        h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.tag)) *
+             0xbf58476d1ce4e5b9ull;
+        h ^= h >> 31;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 29;
+        const double unit =
+            static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+        m.arrival += jitter_spread_ * unit;
+      }
       q_.push_back(std::move(m));
     }
     cv_.notify_all();
+  }
+
+  /// Arm (or disarm, spread <= 0) the delivery-permutation hook applied by
+  /// push(). Call only while no rank is communicating.
+  void set_delivery_jitter(std::uint64_t seed, double spread) {
+    std::lock_guard<std::mutex> lk(mu_);
+    jitter_seed_ = seed;
+    jitter_spread_ = spread;
+  }
+
+  /// Earliest modeled arrival among queued messages matching (src, tag), or
+  /// nullopt when none is physically queued yet. Never consumes, never
+  /// blocks — the comm engine's arrival-driven wait uses it to decide how
+  /// far to advance the receiver's virtual clock.
+  std::optional<double> peek_arrival(int src, int tag) {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::optional<double> best;
+    for (const Message& m : q_) {
+      if (m.src == src && m.tag == tag)
+        if (!best || m.arrival < *best) best = m.arrival;
+    }
+    return best;
   }
 
   /// Blocks until a message with exactly this (src, tag) arrives, removes it
@@ -86,6 +128,8 @@ class Mailbox {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> q_;
+  std::uint64_t jitter_seed_ = 0;
+  double jitter_spread_ = 0.0;
 };
 
 }  // namespace chaos::sim

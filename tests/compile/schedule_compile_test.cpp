@@ -492,5 +492,94 @@ TEST(ScheduleCompile, CrossEpochCarryAndRecompileCounters) {
   });
 }
 
+
+// ---- cross-block wire grouping ---------------------------------------------
+
+TEST(ScheduleCompile, WireGroupsFuseConsecutiveSamePeerBlocks) {
+  // Hand-built multi-block-per-peer schedule: two consecutive blocks to
+  // peer 1 whose runs continue across the boundary, then one block to
+  // peer 2. Built schedules emit one block per peer (groups stay empty);
+  // this is the shape wire grouping exists for.
+  std::vector<ScheduleBlock> send;
+  send.push_back(ScheduleBlock{1, {0, 1, 2, 3, 4, 5}});
+  send.push_back(ScheduleBlock{1, {6, 7, 8, 9}});
+  send.push_back(ScheduleBlock{2, {20, 22, 24, 26}});
+  const compile::SchedulePlan plan =
+      compile::SchedulePlan::compile(Schedule(std::move(send), {}));
+
+  ASSERT_EQ(plan.send_groups().size(), 2u);  // covers all blocks, in order
+  const compile::WireGroup& g0 = plan.send_groups()[0];
+  EXPECT_EQ(g0.proc, 1);
+  EXPECT_EQ(g0.first, 0u);
+  EXPECT_EQ(g0.nblocks, 2u);
+  // The boundary pair merged: one segment op spanning 0..9.
+  ASSERT_EQ(g0.fused.ops.size(), 1u);
+  EXPECT_EQ(g0.fused.ops[0].start, 0);
+  EXPECT_EQ(g0.fused.ops[0].len, 10);
+  EXPECT_EQ(g0.fused.ops[0].stride, 1);
+  EXPECT_EQ(g0.fused.count, 10);
+  EXPECT_EQ(plan.stats().cross_block_runs, 1u);
+
+  const compile::WireGroup& g1 = plan.send_groups()[1];
+  EXPECT_EQ(g1.proc, 2);
+  EXPECT_EQ(g1.first, 2u);
+  EXPECT_EQ(g1.nblocks, 1u);
+
+  // No multi-block peer on the recv side: its group list stays empty.
+  EXPECT_TRUE(plan.recv_groups().empty());
+
+  // The registry stat: an external compile folds the fusion count into
+  // the epoch's counters (what registry_stats() reports to the benches).
+  runtime::ScheduleRegistry reg;
+  reg.note_external_compile(plan.stats());
+  EXPECT_EQ(reg.stats().cross_block_runs, 1u);
+}
+
+TEST(ScheduleCompile, SingleBlockPerPeerKeepsGroupListsEmpty) {
+  std::vector<ScheduleBlock> send;
+  send.push_back(ScheduleBlock{1, {0, 1, 2, 3, 4}});
+  send.push_back(ScheduleBlock{2, {10, 11, 12, 13}});
+  const compile::SchedulePlan plan =
+      compile::SchedulePlan::compile(Schedule(std::move(send), {}));
+  EXPECT_TRUE(plan.send_groups().empty());
+  EXPECT_EQ(plan.stats().cross_block_runs, 0u);
+}
+
+TEST(ScheduleCompile, FusedGroupPackIsBitwiseEqualToPerBlockPacks) {
+  // A fuller shape: strided boundary continuation, residue-to-residue
+  // concatenation, and a trailing irregular block — the fused plan must
+  // reproduce the concatenated per-block wire stream byte for byte.
+  std::vector<ScheduleBlock> send;
+  send.push_back(ScheduleBlock{3, {0, 2, 4, 6}});       // stride-2 run
+  send.push_back(ScheduleBlock{3, {8, 10, 12, 14}});    // continues it
+  send.push_back(ScheduleBlock{3, {31, 7, 19, 3}});     // irregular
+  send.push_back(ScheduleBlock{3, {23, 5, 29, 11}});    // irregular again
+  const Schedule sched(std::move(send), {});
+  const compile::SchedulePlan plan = compile::SchedulePlan::compile(sched);
+
+  ASSERT_EQ(plan.send_groups().size(), 1u);
+  const compile::WireGroup& g = plan.send_groups()[0];
+  EXPECT_EQ(g.nblocks, 4u);
+  EXPECT_GE(plan.stats().cross_block_runs, 1u);
+
+  std::vector<double> src(40);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = 1.0 + 0.5 * static_cast<double>(i);
+
+  std::vector<double> fused(static_cast<std::size_t>(g.fused.count), 0.0);
+  compile::pack_block<double>(g.fused, src, fused.data());
+
+  std::vector<double> per_block;
+  for (std::size_t b = g.first; b < g.first + g.nblocks; ++b) {
+    const compile::BlockPlan& bp = plan.send()[b];
+    std::vector<double> out(static_cast<std::size_t>(bp.count), 0.0);
+    compile::pack_block<double>(bp, src, out.data());
+    per_block.insert(per_block.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(fused.size(), per_block.size());
+  for (std::size_t i = 0; i < fused.size(); ++i)
+    EXPECT_EQ(fused[i], per_block[i]) << "wire position " << i;
+}
+
 }  // namespace
 }  // namespace chaos

@@ -1,10 +1,14 @@
 // Runtime-level comm engine tests: gather_async/scatter_add_async posting
 // through ScheduleHandles with per-peer coalescing, async light-weight
-// migration overlapped with local work, and registry memory hygiene
+// migration overlapped with local work, per-peer arrival tracking
+// (test_peer / ready_peers / wait_arrival), and registry memory hygiene
 // (Runtime::compact) after epoch retirement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
 
 namespace chaos {
 namespace {
@@ -244,6 +248,105 @@ TEST(RuntimeCommEngine, DeltaRemapMigratesOnlyMovedBytes) {
   });
 }
 
+// ---- per-peer arrival tracking ---------------------------------------------
+
+TEST(CommEnginePerPeer, TestPeerAndReadyPeersTrackGatherCompletion) {
+  Machine m(3);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const DistHandle d = rt.block(12);  // 4 globals per rank
+    // One reference into each other rank's slice: the gather expects
+    // exactly one segment from every peer.
+    lang::IndirectionArray ind;
+    std::vector<GlobalIndex> refs;
+    for (int p = 0; p < 3; ++p)
+      if (p != comm.rank())
+        refs.push_back(static_cast<GlobalIndex>(p) * 4 +
+                       (comm.rank() + 1) % 4);
+    ind.assign(refs);
+    const ScheduleHandle h = rt.inspect(d, ind);
+
+    std::vector<double> x(static_cast<std::size_t>(rt.local_extent(d)),
+                          -1.0);
+    for (std::size_t i = 0; i < 4; ++i)
+      x[i] = comm.rank() * 4 + static_cast<double>(i);
+    const comm::CommHandle ch =
+        rt.gather_async<double>(h, std::span<double>{x});
+    rt.comm_flush();
+
+    // A peer the op expects nothing from is trivially complete.
+    EXPECT_TRUE(rt.engine().test_peer(ch, comm.rank()));
+
+    // Drive the op to completion purely through the arrival-driven calls:
+    // ready_peers grows monotonically and ends at both peers, ascending.
+    std::vector<int> ready = rt.engine().ready_peers(ch);
+    while (ready.size() < 2) {
+      rt.engine().wait_arrival();
+      std::vector<int> now = rt.engine().ready_peers(ch);
+      for (int p : ready)  // monotone: a ready peer never un-readies
+        EXPECT_NE(std::find(now.begin(), now.end(), p), now.end());
+      ready = std::move(now);
+    }
+    EXPECT_TRUE(std::is_sorted(ready.begin(), ready.end()));
+    for (int p = 0; p < 3; ++p)
+      if (p != comm.rank()) EXPECT_TRUE(rt.engine().test_peer(ch, p));
+    EXPECT_TRUE(rt.engine().test(ch));
+    rt.comm_wait_all();
+
+    // Every ghost slot carries its global id's value.
+    for (std::size_t i = 4; i < x.size(); ++i) EXPECT_GE(x[i], 0.0);
+    double sum = 0.0, expect = 0.0;
+    for (std::size_t i = 4; i < x.size(); ++i) sum += x[i];
+    for (GlobalIndex r : refs) expect += static_cast<double>(r);
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+TEST(CommEnginePerPeer, ArrivalDrainKeepsConflictedScatterAddCanonical) {
+  // A non-associative probe: rank 0 owns one accumulator slot primed with
+  // -1e16; rank 1 contributes +1e16, rank 2 contributes +1.0. Canonical
+  // (ascending peer) combining yields exactly 1.0; arrival-order combining
+  // could yield 0.0. While the scatter is in flight rank 0 polls
+  // test_peer/wait_arrival on an unrelated gather — that drain must
+  // consume the conflicted scatter segments only in canonical order.
+  Machine m(3);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 1, 2};
+    const DistHandle d = rt.irregular(map);
+
+    lang::IndirectionArray ind_add;  // ranks 1 and 2 push into global 0
+    if (comm.rank() != 0) ind_add.assign({0});
+    const ScheduleHandle h_add = rt.inspect(d, ind_add);
+    lang::IndirectionArray ind_gat;  // rank 0 gathers globals 1 and 2
+    if (comm.rank() == 0) ind_gat.assign({1, 2});
+    const ScheduleHandle h_gat = rt.inspect(d, ind_gat);
+
+    const auto extent = static_cast<std::size_t>(rt.local_extent(d));
+    std::vector<double> acc(extent, 0.0), y(extent, 0.0);
+    if (comm.rank() == 0) acc[0] = -1e16;
+    if (comm.rank() == 1) acc[1] = 1e16;  // ghost slot for global 0
+    if (comm.rank() == 2) acc[1] = 1.0;
+    y[0] = 10.0 * (comm.rank() + 1);
+
+    rt.scatter_add_async<double>(h_add, std::span<double>{acc});
+    const comm::CommHandle gh =
+        rt.gather_async<double>(h_gat, std::span<double>{y});
+    rt.comm_flush();
+    if (comm.rank() == 0) {
+      while (!rt.engine().test(gh)) rt.engine().wait_arrival();
+      EXPECT_TRUE(rt.engine().test_peer(gh, 1));
+      EXPECT_TRUE(rt.engine().test_peer(gh, 2));
+    }
+    rt.comm_wait_all();
+
+    if (comm.rank() == 0) {
+      EXPECT_EQ(acc[0], 1.0);  // (-1e16 + 1e16) + 1.0, canonical order
+      EXPECT_EQ(y[1] + y[2], 50.0);  // gathered rank 1 and 2 values
+    }
+  });
+}
+
 // ---- registry memory hygiene ----------------------------------------------
 
 TEST(RuntimeCompact, ReleasesRetiredEpochStateAndKeepsLiveEpochsWorking) {
@@ -289,6 +392,56 @@ TEST(RuntimeCompact, ReleasesRetiredEpochStateAndKeepsLiveEpochsWorking) {
     for (std::size_t i = 0; i < dst.size(); ++i) data[i] = dst[i];
     rt.gather<double>(s2, std::span<double>{data});
     EXPECT_TRUE(rt.valid(s2));
+  });
+}
+
+TEST(RuntimeCompact, AccountsArrivalStateAndReleasesChunkPlans) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const DistHandle d = rt.block(8);
+    const std::vector<GlobalIndex> globals = rt.owned_globals(d);
+    lang::IndirectionArray ind(
+        std::vector<GlobalIndex>{(comm.rank() == 0 ? GlobalIndex{5}
+                                                   : GlobalIndex{1}),
+                                 (comm.rank() == 0 ? GlobalIndex{6}
+                                                   : GlobalIndex{2})});
+    const ScheduleHandle h = rt.inspect(rt.bind(d, ind));
+    const auto extent = static_cast<std::size_t>(rt.local_extent(d));
+    std::vector<double> x(extent, 1.0), y(extent, 0.0);
+
+    const std::size_t idle_bytes = rt.registry_bytes();
+
+    StepGraph g(rt);
+    g.set_arrival_driven(true);
+    Step& s = g.step("halo").reads(x, h).updates(y);
+    s.compute_chunks([&](ChunkContext& ctx) {
+      if (ctx.chunk().peer < 0)
+        for (std::size_t i = 0; i < globals.size(); ++i) y[i] = 2.0 * x[i];
+      ctx.charge(4.0);
+    });
+    s.chunk_writes_disjoint();
+    rt.run(g, 2);
+
+    // The run recorded engine op/completion state and built the graph's
+    // chunk plan: both are visible in the registry accounting.
+    const std::size_t hot_bytes = rt.registry_bytes();
+    EXPECT_GT(hot_bytes, idle_bytes);
+    EXPECT_GT(rt.engine().footprint_bytes(), 0u);
+    EXPECT_GT(g.footprint_bytes(), 0u);
+
+    // compact() (graph quiesced by run) releases both; the chunk plan is
+    // rebuilt lazily, so the graph keeps working afterwards.
+    const std::size_t released = rt.compact();
+    EXPECT_GE(released, hot_bytes - rt.registry_bytes());
+    EXPECT_LT(rt.registry_bytes(), hot_bytes);
+    EXPECT_EQ(g.footprint_bytes(), 0u);
+
+    rt.run(g, 1);
+    g.quiesce();
+    EXPECT_GT(g.footprint_bytes(), 0u);  // plan rebuilt on demand
+    for (std::size_t i = 0; i < globals.size(); ++i)
+      EXPECT_EQ(y[i], 2.0 * x[i]);
   });
 }
 

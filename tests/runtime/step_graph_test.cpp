@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -123,11 +127,17 @@ PairCycleResult run_pair_cycle(bool pipelining, int iters) {
 
     rt.run(g, iters);
 
-    out.xa = collect(c, globals, {xa.data(), globals.size()});
-    out.ya = collect(c, globals, {ya.data(), globals.size()});
-    out.xb = collect(c, globals, {xb.data(), globals.size()});
-    out.yb = collect(c, globals, {yb.data(), globals.size()});
+    // collect() is collective (every rank calls it), but only rank 0 may
+    // write the shared result struct — the rank threads run concurrently.
+    std::vector<double> xa_all = collect(c, globals, {xa.data(), globals.size()});
+    std::vector<double> ya_all = collect(c, globals, {ya.data(), globals.size()});
+    std::vector<double> xb_all = collect(c, globals, {xb.data(), globals.size()});
+    std::vector<double> yb_all = collect(c, globals, {yb.data(), globals.size()});
     if (c.rank() == 0) {
+      out.xa = std::move(xa_all);
+      out.ya = std::move(ya_all);
+      out.xb = std::move(xb_all);
+      out.yb = std::move(yb_all);
       out.stats = g.stats();
       out.step_a_gather = g.at(0).gather_traffic();
       out.step_a_write = g.at(0).write_traffic();
@@ -221,9 +231,13 @@ SameArrayResult run_raw_cycle(bool pipelining, int iters) {
 
     rt.run(g, iters);
 
-    out.x = collect(c, globals, {x.data(), globals.size()});
-    out.y = collect(c, globals, {y.data(), globals.size()});
-    if (c.rank() == 0) out.stats = g.stats();
+    std::vector<double> x_all = collect(c, globals, {x.data(), globals.size()});
+    std::vector<double> y_all = collect(c, globals, {y.data(), globals.size()});
+    if (c.rank() == 0) {
+      out.x = std::move(x_all);
+      out.y = std::move(y_all);
+      out.stats = g.stats();
+    }
   });
   return out;
 }
@@ -287,9 +301,13 @@ SameArrayResult run_war_cycle(bool pipelining, int iters) {
 
     rt.run(g, iters);
 
-    out.x = collect(c, globals, {x.data(), globals.size()});
-    out.y = collect(c, globals, {y.data(), globals.size()});
-    if (c.rank() == 0) out.stats = g.stats();
+    std::vector<double> x_all = collect(c, globals, {x.data(), globals.size()});
+    std::vector<double> y_all = collect(c, globals, {y.data(), globals.size()});
+    if (c.rank() == 0) {
+      out.x = std::move(x_all);
+      out.y = std::move(y_all);
+      out.stats = g.stats();
+    }
   });
   return out;
 }
@@ -357,9 +375,13 @@ SameArrayResult run_reader_window_cycle(bool pipelining, int iters) {
 
     rt.run(g, iters);
 
-    out.x = collect(c, globals, {x.data(), globals.size()});
-    out.y = collect(c, globals, {acc.data(), globals.size()});
-    if (c.rank() == 0) out.stats = g.stats();
+    std::vector<double> x_all = collect(c, globals, {x.data(), globals.size()});
+    std::vector<double> y_all = collect(c, globals, {acc.data(), globals.size()});
+    if (c.rank() == 0) {
+      out.x = std::move(x_all);
+      out.y = std::move(y_all);
+      out.stats = g.stats();
+    }
   });
   return out;
 }
@@ -451,8 +473,12 @@ RepartResult run_repart_cycle(bool pipelining, bool reuse, int iters) {
     }
     g.quiesce();
 
-    out.x = collect(c, globals, {x.data(), globals.size()});
-    out.y = collect(c, globals, {y.data(), globals.size()});
+    std::vector<double> x_all = collect(c, globals, {x.data(), globals.size()});
+    std::vector<double> y_all = collect(c, globals, {y.data(), globals.size()});
+    if (c.rank() == 0) {
+      out.x = std::move(x_all);
+      out.y = std::move(y_all);
+    }
   });
   return out;
 }
@@ -557,6 +583,355 @@ TEST(StepGraph, AdvanceRejectsStaleBindingsAfterRepartition) {
     rt.retire(d);
     EXPECT_THROW(g.advance(), Error);  // must retarget, not limp on
   });
+}
+
+// ---- arrival-driven chunked execution --------------------------------------
+
+/// How the chunked halo step writes its outputs:
+///   kDisjointByPeer   each chunk writes only the y slots its peer owns
+///                     (declared chunk_writes_disjoint — the
+///                     order-independent arm, bitwise oracle applies)
+///   kConflictedShared every chunk folds into a shared accumulator window
+///                     (undeclared → conservatively conflicted; arrival
+///                     execution requires a tolerance)
+enum class ChunkShape { kDisjointByPeer, kConflictedShared };
+
+struct ChunkedResult {
+  std::vector<double> x, y;
+  /// Summed over ranks (rank-0 slot after an allreduce).
+  std::uint64_t chunks_fired_early = 0;
+  std::uint64_t color_classes = 0;
+};
+
+/// The table10 workload at test size: a local step with a rotating slow
+/// rank (so gather replies leave late and arrival order varies), then a
+/// chunked halo step keyed by the gather schedule's recv peers. With
+/// `perm_spread > 0` the mailbox delivery-permutation hook additionally
+/// shuffles modeled arrival times per (src, tag).
+ChunkedResult run_chunked_halo(bool arrival, ChunkShape shape, int iters,
+                               std::optional<EquivalenceTolerance> tol = {},
+                               std::uint64_t perm_seed = 0,
+                               double perm_spread = 0.0) {
+  ChunkedResult out;
+  Machine m(kRanks);
+  m.set_delivery_permutation(perm_seed, perm_spread);
+  m.run([&](Comm& c) {
+    Runtime rt(c);
+    const DistHandle d = rt.block(kN);
+    const std::vector<GlobalIndex> globals = rt.owned_globals(d);
+    const GlobalIndex nper = kN / kRanks;
+
+    // References into every other rank's slice: one recv block per peer,
+    // so the chunk plan splits kRanks ways (local + kRanks-1 peers).
+    std::vector<GlobalIndex> refs;
+    for (int p = 0; p < kRanks; ++p) {
+      if (p == c.rank()) continue;
+      for (int k = 0; k < 4; ++k)
+        refs.push_back(static_cast<GlobalIndex>(p) * nper +
+                       (static_cast<GlobalIndex>(3 * k + c.rank()) % nper));
+    }
+    lang::IndirectionArray ind(refs);
+    const LoopHandle loop = rt.bind(d, ind);
+    const ScheduleHandle h = rt.inspect(loop);
+    const std::span<const GlobalIndex> lrefs = rt.local_refs(loop);
+
+    const auto extent = static_cast<std::size_t>(rt.local_extent(d));
+    std::vector<double> x(extent, 0.0), y(extent, 0.0);
+    for (std::size_t i = 0; i < globals.size(); ++i)
+      x[i] = 1.0 + 0.5 * static_cast<double>(globals[i]);
+
+    // Ghost slot -> owning peer: keys each localized ref to its chunk.
+    std::vector<int> slot_peer(extent, -1);
+    for (const core::ScheduleBlock& b : rt.schedule(h).recv_blocks()) {
+      if (b.proc == c.rank()) continue;
+      for (GlobalIndex idx : b.indices)
+        slot_peer[static_cast<std::size_t>(idx)] = b.proc;
+    }
+
+    int iter = 0;
+    StepGraph g(rt);
+    g.set_pipelining(arrival);
+    g.set_arrival_driven(arrival);
+    if (tol) g.set_tolerance(*tol);
+
+    g.step("local").uses(y).updates(x).compute([&] {
+      for (std::size_t i = 0; i < globals.size(); ++i)
+        x[i] = 0.5 * x[i] + 0.25 * y[i] + 0.125;
+      c.charge_work(500.0 * (c.rank() == iter % kRanks ? 5.0 : 1.0));
+      ++iter;
+    });
+
+    Step& halo = g.step("halo").reads(x, h).updates(y);
+    if (shape == ChunkShape::kDisjointByPeer) {
+      halo.compute_chunks([&](ChunkContext& ctx) {
+        const int peer = ctx.chunk().peer;
+        if (peer < 0) {
+          for (std::size_t i = 0; i < globals.size(); ++i)
+            y[i] = std::sqrt(x[i] * x[i] + 1.0) + 0.0625 * x[i];
+        } else {
+          for (GlobalIndex j : lrefs) {
+            const auto s = static_cast<std::size_t>(j);
+            if (slot_peer[s] == peer)
+              y[s] = std::sqrt(x[s] * x[s] + 1.0) + 0.0625 * x[s];
+          }
+        }
+        ctx.charge(40.0);
+      });
+      halo.chunk_writes_disjoint();
+    } else {
+      // Shared accumulator window: every chunk folds into y[0..owned),
+      // so chunk order permutes the floating-point combine order.
+      halo.compute([&] {
+        std::fill(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(
+                                             globals.size()),
+                  0.0);
+      });
+      halo.compute_chunks([&](ChunkContext& ctx) {
+        const int peer = ctx.chunk().peer;
+        if (peer < 0) {
+          for (std::size_t i = 0; i < globals.size(); ++i)
+            y[i % globals.size()] += 0.25 * x[i];
+        } else {
+          for (GlobalIndex j : lrefs) {
+            const auto s = static_cast<std::size_t>(j);
+            if (slot_peer[s] == peer)
+              y[s % globals.size()] += 0.125 * x[s];
+          }
+        }
+        ctx.charge(40.0);
+      });
+    }
+
+    rt.run(g, iters);
+
+    const StepGraph::Stats& gs = g.stats();
+    const auto fired = static_cast<std::uint64_t>(c.allreduce_sum(
+        static_cast<long long>(gs.chunks_fired_early)));
+    const auto colors = static_cast<std::uint64_t>(
+        c.allreduce_sum(static_cast<long long>(gs.color_classes)));
+    std::vector<double> x_all = collect(c, globals, {x.data(), globals.size()});
+    std::vector<double> y_all = collect(c, globals, {y.data(), globals.size()});
+    if (c.rank() == 0) {
+      out.x = std::move(x_all);
+      out.y = std::move(y_all);
+      out.chunks_fired_early = fired;
+      out.color_classes = colors;
+    }
+  });
+  return out;
+}
+
+TEST(StepGraphArrival, OrderIndependentChunksBitwiseMatchEagerUnderFuzzing) {
+  // The order-independent contract, fuzzed: disjoint-write chunks must be
+  // bitwise identical to the eager serial arm under EVERY arrival order.
+  // The delivery-permutation hook reshuffles modeled arrival times per
+  // (src, tag) for each seed — 100+ distinct arrival orders on top of the
+  // rotating-skew baseline.
+  const auto eager =
+      run_chunked_halo(false, ChunkShape::kDisjointByPeer, 6);
+  std::uint64_t fired_total = 0;
+  for (std::uint64_t seed = 1; seed <= 104; ++seed) {
+    const double spread = 1e-3 * static_cast<double>(1 + seed % 7);
+    const auto fuzzed = run_chunked_halo(
+        true, ChunkShape::kDisjointByPeer, 6, {}, seed, spread);
+    ASSERT_TRUE(spans_equal(fuzzed.x, eager.x,
+                            "x (seed " + std::to_string(seed) + ")"));
+    ASSERT_TRUE(spans_equal(fuzzed.y, eager.y,
+                            "y (seed " + std::to_string(seed) + ")"));
+    fired_total += fuzzed.chunks_fired_early;
+  }
+  // Across the sweep, chunks really did fire before their gather batch
+  // completed — the fuzz is exercising the arrival path, not a fallback.
+  EXPECT_GT(fired_total, 0u);
+}
+
+TEST(StepGraphArrival, DisjointChunksColorAsOneClass) {
+  const auto r = run_chunked_halo(true, ChunkShape::kDisjointByPeer, 4);
+  // Disjoint writes -> empty conflict graph -> exactly one color class
+  // per rank's single chunked step plan.
+  EXPECT_EQ(r.color_classes, static_cast<std::uint64_t>(kRanks));
+}
+
+TEST(StepGraphArrival, ConflictedChunksUnderToleranceStayWithinBound) {
+  // Conflicted chunks (shared accumulator) under a declared tolerance:
+  // arrival order legitimately reorders the combines, so the contract is
+  // the tolerance bound, not bitwise equality.
+  const EquivalenceTolerance tol{1e-12, 1e-9};
+  const auto eager =
+      run_chunked_halo(false, ChunkShape::kConflictedShared, 6);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto fuzzed = run_chunked_halo(
+        true, ChunkShape::kConflictedShared, 6, tol, seed, 2e-3);
+    ASSERT_EQ(fuzzed.y.size(), eager.y.size());
+    for (std::size_t i = 0; i < eager.y.size(); ++i)
+      ASSERT_TRUE(tol.within(fuzzed.y[i], eager.y[i]))
+          << "y[" << i << "] seed " << seed << ": " << fuzzed.y[i]
+          << " vs " << eager.y[i];
+    for (std::size_t i = 0; i < eager.x.size(); ++i)
+      ASSERT_TRUE(tol.within(fuzzed.x[i], eager.x[i]))
+          << "x[" << i << "] seed " << seed;
+  }
+}
+
+TEST(StepGraphArrival, ConflictedChunksWithoutToleranceFallBackToStatic) {
+  // arrival_driven on, conflicted chunks, NO tolerance declared: the
+  // graph must refuse the arrival path (silently using the static
+  // whole-batch arm) and stay bitwise identical to eager.
+  const auto eager =
+      run_chunked_halo(false, ChunkShape::kConflictedShared, 6);
+  const auto arrival = run_chunked_halo(
+      true, ChunkShape::kConflictedShared, 6, {}, 3, 2e-3);
+  EXPECT_TRUE(spans_equal(arrival.x, eager.x, "x"));
+  EXPECT_TRUE(spans_equal(arrival.y, eager.y, "y"));
+  EXPECT_EQ(arrival.chunks_fired_early, 0u);
+}
+
+TEST(StepGraphArrival, FixedCountChunksRunConcurrentWavesBitwise) {
+  // compute_chunks(n, fn): chunks over owned index ranges, no comm key.
+  // Declared disjoint, they run as one concurrent wave on the worker pool
+  // under the arrival arm — the threaded path must stay bitwise identical
+  // to the serial canonical order.
+  const auto run = [&](bool arrival) {
+    std::vector<double> out;
+    Machine m(kRanks);
+    m.run([&](Comm& c) {
+      Runtime rt(c);
+      const DistHandle d = rt.block(kN);
+      const std::vector<GlobalIndex> globals = rt.owned_globals(d);
+      std::vector<double> x(globals.size());
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = 0.5 + static_cast<double>(globals[i]);
+
+      StepGraph g(rt);
+      g.set_pipelining(arrival);
+      g.set_arrival_driven(arrival);
+      g.set_worker_threads(3);
+      Step& s = g.step("sweep").updates(x);
+      s.compute_chunks(4, [&](ChunkContext& ctx) {
+        const std::size_t n = x.size();
+        const std::size_t lo = n * ctx.chunk().index / ctx.chunk().count;
+        const std::size_t hi =
+            n * (ctx.chunk().index + 1) / ctx.chunk().count;
+        for (std::size_t i = lo; i < hi; ++i)
+          x[i] = std::sqrt(x[i]) + 0.25 * x[i];
+        ctx.charge(static_cast<double>(hi - lo));
+      });
+      s.chunk_writes_disjoint();
+
+      rt.run(g, 5);
+      std::vector<double> all = collect(c, globals, {x.data(), globals.size()});
+      if (c.rank() == 0) out = std::move(all);
+    });
+    return out;
+  };
+  EXPECT_TRUE(spans_equal(run(true), run(false), "x (threaded vs serial)"));
+}
+
+TEST(StepGraphArrival, RetargetRebuildsChunkPlanOnSuccessorEpoch) {
+  // A repartition changes the gather schedule's recv peers, so the cached
+  // chunk plan (peer list, coloring) must be invalidated by retarget()
+  // and rebuilt against the successor epoch. Bitwise equality with the
+  // eager arm across the swap proves the rebuilt plan keys chunks to the
+  // right peers.
+  const auto run = [&](bool arrival) {
+    RepartResult out;
+    Machine m(kRanks);
+    m.run([&](Comm& c) {
+      Runtime rt(c);
+      std::vector<int> map(static_cast<std::size_t>(kN));
+      for (GlobalIndex i = 0; i < kN; ++i)
+        map[static_cast<std::size_t>(i)] = static_cast<int>(i) % kRanks;
+      DistHandle d = rt.adopt(lang::Distribution::irregular(c, map));
+      std::vector<GlobalIndex> globals = rt.owned_globals(d);
+
+      lang::IndirectionArray ind(make_refs(c.rank(), 13));
+      ScheduleHandle h = rt.inspect(rt.bind(d, ind));
+      std::span<const GlobalIndex> lrefs = rt.local_refs(rt.bind(d, ind));
+
+      auto extent = static_cast<std::size_t>(rt.local_extent(d));
+      std::vector<double> x(extent, 0.0), y(extent, 0.0);
+      for (std::size_t i = 0; i < globals.size(); ++i)
+        x[i] = 2.0 + static_cast<double>(globals[i]);
+
+      std::vector<int> slot_peer(extent, -1);
+      const auto rebuild_slot_peer = [&] {
+        slot_peer.assign(static_cast<std::size_t>(rt.local_extent(d)), -1);
+        for (const core::ScheduleBlock& b : rt.schedule(h).recv_blocks()) {
+          if (b.proc == c.rank()) continue;
+          for (GlobalIndex idx : b.indices)
+            slot_peer[static_cast<std::size_t>(idx)] = b.proc;
+        }
+      };
+      rebuild_slot_peer();
+
+      StepGraph g(rt);
+      g.set_pipelining(arrival);
+      g.set_arrival_driven(arrival);
+      Step& halo = g.step("halo").reads(x, h).updates(y);
+      halo.compute_chunks([&](ChunkContext& ctx) {
+        const int peer = ctx.chunk().peer;
+        if (peer < 0) {
+          for (std::size_t i = 0; i < globals.size(); ++i)
+            y[i] = 0.5 * x[i] + 1.0;
+        } else {
+          for (GlobalIndex j : lrefs) {
+            const auto s = static_cast<std::size_t>(j);
+            if (slot_peer[s] == peer) y[s] = 0.5 * x[s] + 1.0;
+          }
+        }
+        ctx.charge(20.0);
+      });
+      halo.chunk_writes_disjoint();
+      g.step("advance").uses(y).updates(x).compute([&] {
+        for (std::size_t i = 0; i < globals.size(); ++i)
+          x[i] = 0.75 * x[i] + 0.25 * y[i];
+      });
+
+      for (int it = 0; it < 6; ++it) {
+        if (it == 3) {
+          std::vector<int> map2(static_cast<std::size_t>(kN));
+          for (GlobalIndex i = 0; i < kN; ++i)
+            map2[static_cast<std::size_t>(i)] =
+                static_cast<int>(i / 3 + 1) % kRanks;
+          const DistHandle d2 = rt.repartition(d, map2);
+          const ScheduleHandle remap = rt.plan_remap(d, d2);
+          const ScheduleHandle h2 = rt.inspect(rt.bind(d2, ind));
+          g.retarget(h, h2);
+
+          std::vector<double> x2 = rt.remap<double>(
+              remap, std::span<const double>{x.data(), globals.size()});
+          const std::span<const GlobalIndex> lrefs2 =
+              rt.local_refs(rt.bind(d2, ind));
+          rt.retire(d);
+          d = d2;
+          h = h2;
+          lrefs = lrefs2;
+          globals = rt.owned_globals(d);
+          extent = static_cast<std::size_t>(rt.local_extent(d));
+          x.assign(extent, 0.0);
+          std::copy(x2.begin(), x2.end(), x.begin());
+          y.assign(extent, 0.0);
+          rebuild_slot_peer();
+        }
+        g.advance();
+      }
+      g.quiesce();
+
+      std::vector<double> x_all =
+          collect(c, globals, {x.data(), globals.size()});
+      std::vector<double> y_all =
+          collect(c, globals, {y.data(), globals.size()});
+      if (c.rank() == 0) {
+        out.x = std::move(x_all);
+        out.y = std::move(y_all);
+      }
+    });
+    return out;
+  };
+  const auto arrival = run(true);
+  const auto eager = run(false);
+  EXPECT_TRUE(spans_equal(arrival.x, eager.x, "x (across retarget)"));
+  EXPECT_TRUE(spans_equal(arrival.y, eager.y, "y (across retarget)"));
 }
 
 TEST(CommEngineTraffic, ResetAndPerBatchSnapshots) {
