@@ -18,6 +18,11 @@
 //                         (sorted | banded | random | hypergraph) — honored
 //                         by fig6_hash_schedule and table9_schedule_compile;
 //                         both sweep all patterns when it is absent
+//   --seeds=N             seed count for randomized sweeps — the same knob
+//                         the stress-labeled randomized test suites read
+//                         (tests/support/seeds.hpp), so one flag drives
+//                         both benches and suites instead of per-suite
+//                         environment variables
 //
 // Unknown values raise chaos::Error listing the accepted spellings;
 // unknown flags are ignored (benches historically tolerate extra argv).
@@ -25,6 +30,8 @@
 // see the per-table notes above.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -105,6 +112,13 @@ struct Options {
   /// Per-rank compute skew factor for benches that inject imbalance
   /// (table10): the slow rank's compute is multiplied by this.
   double skew = 4.0;
+  /// Seed count for randomized sweeps (`--seeds=N` / `--seeds N`).
+  std::optional<std::uint64_t> seeds;
+
+  /// The seed-count knob with a bench-chosen default.
+  std::uint64_t seeds_or(std::uint64_t fallback) const {
+    return seeds ? *seeds : fallback;
+  }
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -133,6 +147,10 @@ struct Options {
         o.skew = std::stod(v);
       } else if (std::strcmp(argv[i], "--skew") == 0 && i + 1 < argc) {
         o.skew = std::stod(argv[++i]);
+      } else if (const char* v = value_of(argv[i], "--seeds")) {
+        o.seeds = std::strtoull(v, nullptr, 10);
+      } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+        o.seeds = std::strtoull(argv[++i], nullptr, 10);
       }
     }
     return o;

@@ -1,0 +1,288 @@
+// Table 11 (beyond the paper) — dynamic index spaces.
+//
+// Two measurements, one gate:
+//
+// (1) DSMC with true particle birth/death. The pre-dynamic shape had to
+//     provision one slot for every particle ever alive (initial +
+//     steps * births_per_step); with genuine deletion the resident
+//     population tracks the live set. The sweep varies the absorption
+//     rate and reports modeled ms/step, the summed per-rank peak resident
+//     bytes, the fixed-capacity over-allocation those peaks replace, and
+//     the saving. Each configuration is gated: the pipelined step-graph
+//     arm must be bitwise identical to the eager arm AND to the
+//     sequential driver.
+//
+// (2) A runtime-level insert/delete/repartition event stream (the same
+//     generator the randomized equivalence suite uses) driven through two
+//     arms: dynamic successors (patched tables, seeded registries, delta
+//     remaps) vs. cold rebuild (reuse disabled). Reports modeled ms/event
+//     per arm and the speedup; gated on the remapped payloads of every
+//     event being bitwise identical across arms.
+//
+// The harness exits nonzero if any gate fails — including under --quick,
+// which only shrinks the workloads.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "apps/dsmc/parallel.hpp"
+#include "apps/dsmc/sequential.hpp"
+#include "bench_common.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/machine.hpp"
+#include "support/dynamic_fuzz.hpp"
+
+namespace {
+
+using namespace chaos;
+using namespace chaos::bench;
+using core::GlobalIndex;
+using testing_support::DynamicEvent;
+using testing_support::DynamicFuzz;
+
+// ---- (1) DSMC birth/death sweep --------------------------------------------
+
+struct DsmcRow {
+  double death_rate = 0;
+  double ms_per_step = 0;
+  std::size_t peak_bytes = 0;       ///< dynamic storage actually used
+  std::size_t fixed_bytes = 0;      ///< ever-alive over-allocation
+  std::size_t final_particles = 0;
+  bool bitwise_ok = false;
+};
+
+DsmcRow run_dsmc_config(int ranks, dsmc::DsmcParams p, int steps) {
+  DsmcRow row;
+  row.death_rate = p.death_rate;
+  row.fixed_bytes = static_cast<std::size_t>(p.n_particles +
+                                             steps * p.births_per_step) *
+                    sizeof(dsmc::Particle);
+
+  dsmc::ParallelDsmcConfig cfg;
+  cfg.params = p;
+  cfg.steps = steps;
+  cfg.collect_state = true;
+
+  cfg.executor = dsmc::DsmcExecutor::kStepGraph;
+  sim::Machine m1(ranks);
+  const auto pipelined = dsmc::run_parallel_dsmc(m1, cfg);
+  cfg.executor = dsmc::DsmcExecutor::kStepGraphEager;
+  sim::Machine m2(ranks);
+  const auto eager = dsmc::run_parallel_dsmc(m2, cfg);
+  const auto seq = dsmc::run_sequential_dsmc(p, steps);
+
+  row.ms_per_step =
+      1000.0 * m1.execution_time() / static_cast<double>(steps);
+  row.peak_bytes = pipelined.peak_particle_bytes;
+  row.final_particles = pipelined.particles.size();
+
+  row.bitwise_ok = pipelined.particles.size() == eager.particles.size() &&
+                   pipelined.particles.size() == seq.particles.size() &&
+                   pipelined.collisions == eager.collisions &&
+                   pipelined.collisions == seq.collisions;
+  for (std::size_t i = 0; row.bitwise_ok && i < seq.particles.size(); ++i) {
+    const auto& a = pipelined.particles[i];
+    const auto& b = eager.particles[i];
+    const auto& s = seq.particles[i];
+    row.bitwise_ok = a.id == b.id && a.id == s.id && a.x == b.x &&
+                     a.x == s.x && a.y == b.y && a.y == s.y &&
+                     a.vx == b.vx && a.vx == s.vx && a.vy == b.vy &&
+                     a.vy == s.vy;
+  }
+  return row;
+}
+
+// ---- (2) dynamic successors vs. cold rebuild -------------------------------
+
+struct EpochArm {
+  double ms_per_event = 0;
+  /// Concatenated remap payloads of every event, in (event, rank) order —
+  /// the bitwise gate input.
+  std::vector<double> payload;
+};
+
+EpochArm run_epoch_arm(std::uint64_t seed, int ranks, GlobalIndex n0,
+                       int events, bool reuse) {
+  EpochArm arm;
+  sim::Machine m(ranks);
+  m.run([&](sim::Comm& c) {
+    Runtime rt(c);
+    rt.set_cross_epoch_reuse(reuse);
+    DynamicFuzz fuzz(seed, ranks, n0);
+    // Paged translation: lookups are query/reply exchanges, so carrying
+    // tables and plans across epochs saves modeled communication (the
+    // replicated mode rebuilds locally for near-free and would hide the
+    // difference).
+    DistHandle d = rt.irregular_paged(fuzz.map());
+
+    // One representative loop so the dynamic path also pays (or saves)
+    // the registry seeding work per epoch.
+    lang::IndirectionArray ind;
+    {
+      const std::vector<GlobalIndex> live = fuzz.live_ids();
+      std::vector<GlobalIndex> refs;
+      for (std::size_t k = 0; k < live.size(); k += 3)
+        refs.push_back(live[(k + static_cast<std::size_t>(c.rank())) %
+                            live.size()]);
+      ind.assign(std::move(refs));
+    }
+    (void)rt.inspect(rt.bind(d, ind));
+
+    for (int e = 0; e < events; ++e) {
+      const DynamicEvent ev = fuzz.next();
+      const std::vector<GlobalIndex> mine_old = rt.owned_globals(d);
+      DistHandle nd;
+      switch (ev.kind) {
+        case DynamicEvent::Kind::kInsert:
+          nd = rt.insert_elements(d, std::span<const int>{ev.owners}).dist;
+          break;
+        case DynamicEvent::Kind::kDelete:
+          nd = rt.delete_elements(d, std::span<const GlobalIndex>{ev.dead});
+          break;
+        case DynamicEvent::Kind::kRepartition:
+          nd = rt.repartition(d, std::span<const int>{ev.new_map});
+          break;
+      }
+      const ScheduleHandle plan = rt.plan_remap(d, nd);
+      std::vector<double> src(mine_old.size());
+      for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<double>(mine_old[i] * 13 + e + 1);
+      const std::vector<double> dst =
+          rt.remap<double>(plan, std::span<const double>{src});
+      rt.retire(d);
+      d = nd;
+
+      // References to deleted elements must be regenerated before the
+      // next epoch can re-inspect them (both arms do the identical walk).
+      if (ev.kind == DynamicEvent::Kind::kDelete) {
+        bool dead_ref = false;
+        for (GlobalIndex g : ind.values())
+          if (g >= static_cast<GlobalIndex>(fuzz.map().size()) ||
+              fuzz.map()[static_cast<std::size_t>(g)] < 0) {
+            dead_ref = true;
+            break;
+          }
+        if (dead_ref) {
+          const std::vector<GlobalIndex> live = fuzz.live_ids();
+          std::vector<GlobalIndex> refs;
+          for (std::size_t k = 0; k < live.size(); k += 3)
+            refs.push_back(live[(k + static_cast<std::size_t>(c.rank())) %
+                                live.size()]);
+          ind.assign(std::move(refs));
+        }
+      }
+      (void)rt.inspect(rt.bind(d, ind));
+
+      const std::vector<double> all = c.allgatherv<double>(dst);
+      if (c.rank() == 0)
+        arm.payload.insert(arm.payload.end(), all.begin(), all.end());
+    }
+  });
+  arm.ms_per_event =
+      1000.0 * m.execution_time() / static_cast<double>(events);
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  bool ok = true;
+
+  // ---- DSMC birth/death ----------------------------------------------------
+  dsmc::DsmcParams p;
+  p.nx = 16;
+  p.ny = 16;
+  p.nz = 1;
+  p.n_particles = 4000;
+  p.seed = 11;
+  p.births_per_step = 200;
+  int ranks = 8;
+  int steps = 24;
+  if (opt.quick) {
+    p.nx = 8;
+    p.ny = 8;
+    p.n_particles = 400;
+    p.births_per_step = 25;
+    ranks = 4;
+    steps = 10;
+  }
+
+  std::cerr << "table11: DSMC birth/death, P=" << ranks << " N0="
+            << p.n_particles << " births/step=" << p.births_per_step
+            << " steps=" << steps << "\n";
+
+  Table t1("Table 11a: DSMC particle birth/death — dynamic storage vs. "
+           "fixed-capacity over-allocation");
+  t1.header({"Death rate", "ms/step", "Final N", "Peak KB (dynamic)",
+             "Fixed KB (ever-alive)", "Saved %", "Bitwise"});
+  for (const double death_rate : {0.02, 0.05, 0.10, 0.20}) {
+    dsmc::DsmcParams cp = p;
+    cp.death_rate = death_rate;
+    const DsmcRow row = run_dsmc_config(ranks, cp, steps);
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(row.peak_bytes) /
+                           static_cast<double>(row.fixed_bytes));
+    t1.row({Table::num(row.death_rate, 2), Table::num(row.ms_per_step, 3),
+            std::to_string(row.final_particles),
+            Table::num(static_cast<double>(row.peak_bytes) / 1024.0, 1),
+            Table::num(static_cast<double>(row.fixed_bytes) / 1024.0, 1),
+            Table::num(saved, 1), row.bitwise_ok ? "yes" : "NO"});
+    emit_json(opt.json, "table11_dynamic",
+              "dsmc_death_" + Table::num(death_rate, 2), row.ms_per_step,
+              {{"peak_bytes", static_cast<double>(row.peak_bytes)},
+               {"fixed_bytes", static_cast<double>(row.fixed_bytes)},
+               {"final_particles",
+                static_cast<double>(row.final_particles)},
+               {"bitwise_ok", row.bitwise_ok ? 1.0 : 0.0}});
+    if (!row.bitwise_ok) {
+      std::cerr << "GATE FAILED: DSMC arms diverged at death_rate="
+                << death_rate << "\n";
+      ok = false;
+    }
+  }
+  t1.print();
+
+  // ---- dynamic successors vs. cold rebuild ---------------------------------
+  const std::uint64_t streams = opt.seeds_or(opt.quick ? 2 : 5);
+  const GlobalIndex n0 = opt.quick ? 96 : 512;
+  const int events = opt.quick ? 10 : 40;
+  const int ep_ranks = opt.quick ? 4 : 8;
+
+  Table t2("Table 11b: insert/delete/repartition epochs — dynamic "
+           "successors vs. cold rebuild (modeled ms / event)");
+  t2.header({"Stream", "Dynamic", "Cold rebuild", "Speedup", "Bitwise"});
+  double dyn_total = 0, cold_total = 0;
+  for (std::uint64_t s = 1; s <= streams; ++s) {
+    const EpochArm dyn = run_epoch_arm(s, ep_ranks, n0, events, true);
+    const EpochArm cold = run_epoch_arm(s, ep_ranks, n0, events, false);
+    const bool bitwise = dyn.payload == cold.payload;
+    t2.row({std::to_string(s), Table::num(dyn.ms_per_event, 3),
+            Table::num(cold.ms_per_event, 3),
+            Table::num(cold.ms_per_event / dyn.ms_per_event, 2),
+            bitwise ? "yes" : "NO"});
+    emit_json(opt.json, "table11_dynamic", "epochs_seed_" + std::to_string(s),
+              dyn.ms_per_event,
+              {{"cold_ms_per_event", cold.ms_per_event},
+               {"events", static_cast<double>(events)},
+               {"bitwise_ok", bitwise ? 1.0 : 0.0}});
+    if (!bitwise) {
+      std::cerr << "GATE FAILED: dynamic successors diverged from cold "
+                   "rebuild on stream "
+                << s << "\n";
+      ok = false;
+    }
+    dyn_total += dyn.ms_per_event;
+    cold_total += cold.ms_per_event;
+  }
+  t2.print();
+  std::cout << "Mean speedup (cold / dynamic): "
+            << Table::num(cold_total / dyn_total, 2) << "x\n";
+
+  if (!ok) {
+    std::cerr << "table11: BITWISE GATES FAILED\n";
+    return 1;
+  }
+  std::cout << "table11: all bitwise gates passed\n";
+  return 0;
+}

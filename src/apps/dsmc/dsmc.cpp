@@ -70,6 +70,38 @@ std::vector<Particle> generate_particles(const DsmcParams& p) {
   return out;
 }
 
+bool absorbed(const DsmcParams& p, GlobalIndex id, int step) {
+  if (p.death_rate <= 0.0) return false;
+  const std::uint64_t h =
+      mix64(p.seed ^ (static_cast<std::uint64_t>(id) * 0xa0761d6478bd642fULL) ^
+            (static_cast<std::uint64_t>(step) + 1) * 0xe7037ed1a0b428dbULL);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p.death_rate;
+}
+
+std::vector<Particle> generate_births(const DsmcParams& p, int step) {
+  std::vector<Particle> out;
+  out.reserve(static_cast<std::size_t>(p.births_per_step));
+  for (GlobalIndex i = 0; i < p.births_per_step; ++i) {
+    const GlobalIndex id = p.n_particles +
+                           static_cast<GlobalIndex>(step) * p.births_per_step +
+                           i;
+    Rng rng(mix64(p.seed ^ (static_cast<std::uint64_t>(id) + 1) *
+                               0x8bb84b93962eacc9ULL));
+    Particle q;
+    q.id = id;
+    const double u = rng.uniform();
+    q.x = p.nonuniform_init ? u * u * p.nx : u * p.nx;
+    q.y = rng.uniform() * p.ny;
+    q.z = p.nz > 1 ? rng.uniform() * p.nz : 0.25;
+    q.vx = rng.normal() * p.thermal;
+    q.vy = rng.normal() * p.thermal;
+    q.vz = p.nz > 1 ? rng.normal() * p.thermal : 0.0;
+    if (rng.uniform() < p.flow_bias) q.vx += p.drift;
+    out.push_back(q);
+  }
+  return out;
+}
+
 void advance(const DsmcParams& p, Particle& q, double dt) {
   q.x += q.vx * dt;
   q.y += q.vy * dt;

@@ -33,6 +33,14 @@ struct DsmcParams {
   std::uint64_t seed = 94;
   bool nonuniform_init = false;  ///< density ramp toward x=0 (Table 5 load)
 
+  // Particle birth/death (dynamic population). Births inject at the end of
+  // every step's MOVE phase with fresh, never-recycled ids; deaths absorb
+  // particles by a deterministic (seed, id, step) hash so every execution
+  // arm — sequential, imperative, eager/pipelined/arrival step graph —
+  // absorbs the identical set regardless of where the particle lives.
+  GlobalIndex births_per_step = 0;  ///< particles injected per step
+  double death_rate = 0.0;          ///< per-particle absorption odds per step
+
   /// Multiplier on the per-particle/per-collision work charges. The
   /// paper's three DSMC experiments ran different code versions whose
   /// per-molecule costs differ severalfold (compare Tables 4, 5 and 7);
@@ -73,6 +81,16 @@ GlobalIndex cell_at_chain_position(const DsmcParams& p, GlobalIndex pos);
 
 /// Deterministic initial particle set (identical for a given params).
 std::vector<Particle> generate_particles(const DsmcParams& p);
+
+/// Is particle `id` absorbed at the end of `step`? Pure function of
+/// (seed, id, step, death_rate) — no geometry, so every rank can answer
+/// for any particle without communication.
+bool absorbed(const DsmcParams& p, GlobalIndex id, int step);
+
+/// The particles born at the end of `step`, ids
+/// n_particles + step*births_per_step + i (never recycled; state seeded
+/// from the id alone, so any rank can generate any newborn bit-identically).
+std::vector<Particle> generate_births(const DsmcParams& p, int step);
 
 /// Advance one particle by dt with periodic wrap.
 void advance(const DsmcParams& p, Particle& q, double dt);

@@ -56,8 +56,17 @@ class Driver {
     if (graph_) graph_->quiesce();
     const long long local = collisions_;
     const long long total = comm_.allreduce_sum(local);
+    // Sum of per-rank peak residency: the storage each rank actually had
+    // to hold, the honest point of comparison against a fixed-capacity
+    // (all particles ever alive) over-allocation.
+    const long long peak =
+        comm_.allreduce_sum(static_cast<long long>(peak_mine_));
     phase_out_[static_cast<size_t>(comm_.rank())] = t_;
-    if (comm_.rank() == 0) shared_.collisions = total;
+    if (comm_.rank() == 0) {
+      shared_.collisions = total;
+      shared_.peak_particle_bytes =
+          static_cast<std::size_t>(peak) * sizeof(Particle);
+    }
     if (cfg_.collect_state) collect_state();
   }
 
@@ -214,6 +223,7 @@ class Driver {
   /// Serial bucketing shared by every collide arm: particles into their
   /// cells' buckets (also resets the chunked arm's per-chunk counters).
   void bucket_particles() {
+    peak_mine_ = std::max(peak_mine_, mine_.size());
     buckets_.assign(my_cells_.size(), {});
     for (Particle& q : mine_) {
       const GlobalIndex c = cell_of(p_, q);
@@ -275,14 +285,35 @@ class Driver {
                                    kCompilerForallOverhead);
   }
 
-  /// Step-graph move compute: advance particles, derive per-item
-  /// destination ranks from the replicated cell map (the light-weight
-  /// path's translation-free lookup), and reset the arrival buffer the
-  /// declared migration appends into.
+  /// End-of-step population change, shared by every arm (mirrors the
+  /// sequential driver's order exactly): absorb by the deterministic
+  /// (seed, id, step) hash, then append this rank's share of the step's
+  /// newborns. Births are dealt to ranks by id (id % P) rather than by
+  /// cell, so the following migration batch genuinely carries newly-born
+  /// particles to their cell owners — the case the delivery-permutation
+  /// fuzz exercises.
+  void birth_death(int step) {
+    if (p_.death_rate > 0.0) {
+      std::erase_if(mine_, [&](const Particle& q) {
+        return absorbed(p_, q.id, step);
+      });
+    }
+    if (p_.births_per_step > 0) {
+      for (const Particle& q : generate_births(p_, step))
+        if (q.id % comm_.size() == comm_.rank()) mine_.push_back(q);
+    }
+    peak_mine_ = std::max(peak_mine_, mine_.size());
+  }
+
+  /// Step-graph move compute: advance particles, apply the step's
+  /// birth/death, derive per-item destination ranks from the replicated
+  /// cell map (the light-weight path's translation-free lookup), and reset
+  /// the arrival buffer the declared migration appends into.
   void move_compute() {
     for (Particle& q : mine_) advance(p_, q, p_.dt);
     comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerMove *
                       p_.work_scale);
+    birth_death(cur_step_);
     dest_procs_.resize(mine_.size());
     for (std::size_t i = 0; i < mine_.size(); ++i)
       dest_procs_[i] =
@@ -311,6 +342,7 @@ class Driver {
       for (Particle& q : mine_) advance(p_, q, p_.dt);
       comm_.charge_work(static_cast<double>(mine_.size()) * kWorkPerMove *
                         p_.work_scale);
+      birth_death(cur_step_);
       dest_cells.resize(mine_.size());
       for (std::size_t i = 0; i < mine_.size(); ++i)
         dest_cells[i] = cell_of(p_, mine_[i]);
@@ -466,6 +498,7 @@ class Driver {
   std::vector<GlobalIndex> my_cells_;    // owned cells, ascending
   std::vector<std::int32_t> cell_slot_;  // cell -> local slot or -1
   std::vector<Particle> mine_;
+  std::size_t peak_mine_ = 0;  // max resident particles on this rank
   std::vector<std::vector<Particle*>> buckets_;
   std::vector<long long> chunk_collisions_;  // arrival arm: per-chunk counts
   DistHandle rows_;   // compiler path: replicated rows distribution

@@ -83,6 +83,10 @@ struct ParallelDsmcResult {
   double communication_time = 0;
   double load_balance = 0;
   long long collisions = 0;
+  /// Sum over ranks of peak resident-particle bytes — with birth/death
+  /// enabled this is what dynamic storage actually cost, vs. the
+  /// fixed-capacity over-allocation of one slot per particle ever alive.
+  std::size_t peak_particle_bytes = 0;
   std::vector<Particle> particles;  ///< only when collect_state
 };
 

@@ -39,6 +39,17 @@ SequentialDsmcResult run_sequential_dsmc(const DsmcParams& params,
     for (Particle& q : r.particles) advance(params, q, params.dt);
     r.work_units +=
         static_cast<double>(r.particles.size()) * kWorkPerMove * params.work_scale;
+
+    // Dynamic population: absorb, then inject (newborns first collide and
+    // move in the next step). The parallel drivers mirror this exact order.
+    if (params.death_rate > 0.0)
+      std::erase_if(r.particles, [&](const Particle& q) {
+        return absorbed(params, q.id, step);
+      });
+    if (params.births_per_step > 0) {
+      std::vector<Particle> born = generate_births(params, step);
+      r.particles.insert(r.particles.end(), born.begin(), born.end());
+    }
   }
 
   std::sort(r.particles.begin(), r.particles.end(),

@@ -117,6 +117,8 @@ Stamp IndexHashTable::hash(sim::Comm& comm, const TranslationTable& table,
   for (std::size_t i = 0; i < unknown.size(); ++i) {
     Entry& e = entries_[static_cast<std::size_t>(unknown_ids[i])];
     e.home = homes[i];
+    CHAOS_CHECK(e.home.proc >= 0,
+                "indirection array references a deleted (tombstoned) element");
     e.local_index = (e.home.proc == comm.rank()) ? e.home.offset
                                                  : owned_ + next_ghost_slot_++;
   }

@@ -23,6 +23,14 @@
 // destabilize nearly everything, and the cross-epoch path then degrades
 // gracefully to a cold rebuild (the randomized equivalence suite covers
 // both regimes).
+//
+// Dynamic index spaces: a map entry of -1 is a tombstone — the global id
+// exists in the numbering but no processor owns it, it holds no data, and
+// its Home is {-1,-1}. compute_dynamic() compares maps of *different*
+// sizes and additionally records births (hole/tail -> owned) and deaths
+// (owned -> hole). Deleted and born elements are always home-unstable;
+// owner_moved covers only live->live moves. Surviving global ids never
+// renumber, so every stable-Home guarantee above carries over unchanged.
 #pragma once
 
 #include <algorithm>
@@ -46,9 +54,17 @@ class OwnerDelta {
   /// Compare two full map arrays (identical on every rank, as produced by
   /// the parallel partitioners) and record every owner move plus every
   /// home-unstable element. Pure local computation; the caller charges the
-  /// O(n) scan (costs::kDeltaScan per element).
+  /// O(n) scan (costs::kDeltaScan per element). Maps must cover the same
+  /// element universe; -1 tombstones are tolerated (a hole staying a hole
+  /// contributes nothing, a hole changing liveness is a birth/death).
   static OwnerDelta compute(std::span<const int> old_map,
                             std::span<const int> new_map);
+
+  /// Like compute(), but the maps may differ in size: globals beyond a
+  /// map's end are treated as holes, so growth appends births and
+  /// truncation records deaths. global_size() reports the *new* size.
+  static OwnerDelta compute_dynamic(std::span<const int> old_map,
+                                    std::span<const int> new_map);
 
   GlobalIndex global_size() const { return n_; }
   const std::vector<Move>& moves() const { return moves_; }
@@ -59,6 +75,21 @@ class OwnerDelta {
     return static_cast<GlobalIndex>(home_unstable_.size());
   }
 
+  /// Globals that were live in the old epoch and are holes (or beyond the
+  /// end) in the new one. Ascending.
+  const std::vector<GlobalIndex>& deleted_globals() const { return deleted_; }
+  /// Globals that were holes (or beyond the end) in the old epoch and are
+  /// live in the new one; Move::from is -1, Move::to the birth owner.
+  const std::vector<Move>& born() const { return born_; }
+  GlobalIndex deleted_count() const {
+    return static_cast<GlobalIndex>(deleted_.size());
+  }
+  GlobalIndex born_count() const {
+    return static_cast<GlobalIndex>(born_.size());
+  }
+  /// Does this delta change the set of live elements (any birth or death)?
+  bool is_dynamic() const { return !deleted_.empty() || !born_.empty(); }
+
   /// Fraction of elements whose owner did not change (1.0 = no movement).
   double owner_stability() const {
     return n_ == 0 ? 1.0
@@ -66,7 +97,7 @@ class OwnerDelta {
                                static_cast<double>(n_);
   }
 
-  /// Did g's owning processor change?
+  /// Did g's owning processor change (live in both epochs)?
   bool owner_moved(GlobalIndex g) const {
     auto it = std::lower_bound(moves_.begin(), moves_.end(), g,
                                [](const Move& m, GlobalIndex v) {
@@ -75,7 +106,22 @@ class OwnerDelta {
     return it != moves_.end() && it->global == g;
   }
 
+  /// Was g deleted (live in the old epoch, a hole or out of range now)?
+  bool deleted(GlobalIndex g) const {
+    return std::binary_search(deleted_.begin(), deleted_.end(), g);
+  }
+
+  /// Was g born (a hole or out of range in the old epoch, live now)?
+  bool is_born(GlobalIndex g) const {
+    auto it = std::lower_bound(born_.begin(), born_.end(), g,
+                               [](const Move& m, GlobalIndex v) {
+                                 return m.global < v;
+                               });
+    return it != born_.end() && it->global == g;
+  }
+
   /// Is g's Home (owner AND local offset) identical in both epochs?
+  /// Born and deleted elements are never home-stable.
   bool home_stable(GlobalIndex g) const {
     return !std::binary_search(home_unstable_.begin(), home_unstable_.end(),
                                g);
@@ -84,13 +130,20 @@ class OwnerDelta {
   /// Approximate heap footprint, for registry memory accounting.
   std::size_t footprint_bytes() const {
     return moves_.capacity() * sizeof(Move) +
-           home_unstable_.capacity() * sizeof(GlobalIndex);
+           born_.capacity() * sizeof(Move) +
+           home_unstable_.capacity() * sizeof(GlobalIndex) +
+           deleted_.capacity() * sizeof(GlobalIndex);
   }
 
  private:
+  static OwnerDelta walk(std::span<const int> old_map,
+                         std::span<const int> new_map);
+
   GlobalIndex n_ = 0;
-  std::vector<Move> moves_;                   // ascending global
+  std::vector<Move> moves_;                   // ascending global, live->live
+  std::vector<Move> born_;                    // ascending global, from == -1
   std::vector<GlobalIndex> home_unstable_;    // ascending global
+  std::vector<GlobalIndex> deleted_;          // ascending global
 };
 
 }  // namespace chaos::core

@@ -22,11 +22,13 @@ Schedule assemble_remap_schedule(sim::Comm& comm,
   std::vector<ScheduleBlock> recv_blocks;
 
   // Group my outgoing elements by destination; ship the *new offsets* so
-  // each destination can build its placement list.
+  // each destination can build its placement list. A Home of {-1,-1} marks
+  // an element deleted in the new epoch: its data is simply dropped.
   std::vector<std::vector<GlobalIndex>> old_positions(static_cast<size_t>(P));
   std::vector<std::vector<GlobalIndex>> new_offsets(static_cast<size_t>(P));
   for (std::size_t i = 0; i < my_old_globals.size(); ++i) {
     const Home& h = homes[i];
+    if (h.proc < 0) continue;
     old_positions[static_cast<size_t>(h.proc)].push_back(
         static_cast<GlobalIndex>(i));
     new_offsets[static_cast<size_t>(h.proc)].push_back(h.offset);
@@ -60,8 +62,21 @@ Schedule assemble_remap_schedule(sim::Comm& comm,
 Schedule build_remap_schedule(sim::Comm& comm,
                               std::span<const GlobalIndex> my_old_globals,
                               const TranslationTable& new_table) {
-  // Where does each of my elements go under the new distribution?
-  std::vector<Home> homes = new_table.lookup(comm, my_old_globals);
+  // Where does each of my elements go under the new distribution? An
+  // element beyond the new universe was deleted by a shrinking epoch —
+  // its Home stays {-1,-1} and assemble drops it. (In-range tombstones
+  // come back from lookup as {-1,-1} already.)
+  std::vector<GlobalIndex> in_range;
+  in_range.reserve(my_old_globals.size());
+  for (GlobalIndex g : my_old_globals)
+    if (g < new_table.global_size()) in_range.push_back(g);
+  const std::vector<Home> in_range_homes = new_table.lookup(comm, in_range);
+
+  std::vector<Home> homes(my_old_globals.size());
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < my_old_globals.size(); ++i)
+    if (my_old_globals[i] < new_table.global_size())
+      homes[i] = in_range_homes[k++];
   comm.charge_work(static_cast<double>(my_old_globals.size()) * 2.0);
   return assemble_remap_schedule(comm, my_old_globals, homes);
 }
@@ -73,28 +88,34 @@ Schedule build_remap_schedule_delta(sim::Comm& comm,
   const int me = comm.rank();
 
   // Batch-translate only the elements that moved away; every rank calls
-  // lookup together (possibly with an empty batch).
+  // lookup together (possibly with an empty batch). Deleted elements need
+  // no translation — their data is dropped (Home{-1,-1}).
   std::vector<GlobalIndex> moved;
   for (GlobalIndex g : my_old_globals)
-    if (delta.owner_moved(g)) moved.push_back(g);
+    if (!delta.deleted(g) && delta.owner_moved(g)) moved.push_back(g);
   const std::vector<Home> moved_homes = new_table.lookup(comm, moved);
 
-  // The surviving owned set, ascending: old owned minus moved-out plus
-  // moved-in. A stable element's new offset is its position in it (the
-  // ascending-global-order offset convention).
+  // My live owned set in the new epoch, ascending: old owned minus
+  // deleted minus moved-out, plus moved-in, plus born-here. A stable
+  // element's new offset is its position in it (the ascending-global-order
+  // offset convention over live elements).
   std::vector<GlobalIndex> mine_new;
   mine_new.reserve(my_old_globals.size());
   for (GlobalIndex g : my_old_globals)
-    if (!delta.owner_moved(g)) mine_new.push_back(g);
+    if (!delta.deleted(g) && !delta.owner_moved(g)) mine_new.push_back(g);
   for (const OwnerDelta::Move& m : delta.moves())
     if (m.to == me) mine_new.push_back(m.global);
+  for (const OwnerDelta::Move& b : delta.born())
+    if (b.to == me) mine_new.push_back(b.global);
   std::sort(mine_new.begin(), mine_new.end());
 
   std::vector<Home> homes(my_old_globals.size());
   std::size_t mvi = 0;
   for (std::size_t i = 0; i < my_old_globals.size(); ++i) {
     const GlobalIndex g = my_old_globals[i];
-    if (delta.owner_moved(g)) {
+    if (delta.deleted(g)) {
+      homes[i] = Home{};
+    } else if (delta.owner_moved(g)) {
       homes[i] = moved_homes[mvi++];
     } else {
       const auto it = std::lower_bound(mine_new.begin(), mine_new.end(), g);

@@ -12,14 +12,19 @@ namespace chaos::core {
 namespace {
 
 // Derive homes for the page [page_first, page_first + page_map.size()) given
-// the number of elements each proc owns in all earlier pages.
+// the number of elements each proc owns in all earlier pages. A map entry
+// of -1 is a tombstone: the global id exists but no processor owns it, its
+// Home stays {-1,-1}, and it consumes no local offset.
 void assign_offsets(std::span<const int> page_map, GlobalIndex /*page_first*/,
                     std::vector<GlobalIndex>& next_offset_per_proc,
                     std::vector<Home>& out) {
   out.reserve(out.size() + page_map.size());
   for (int proc : page_map) {
-    CHAOS_CHECK(proc >= 0 &&
-                    proc < static_cast<int>(next_offset_per_proc.size()),
+    if (proc < 0) {
+      out.push_back(Home{});
+      continue;
+    }
+    CHAOS_CHECK(proc < static_cast<int>(next_offset_per_proc.size()),
                 "map array names a processor outside the machine");
     out.push_back(Home{proc, next_offset_per_proc[static_cast<size_t>(proc)]++});
   }
@@ -60,23 +65,28 @@ TranslationTable TranslationTable::patched(sim::Comm& comm,
                                            const OwnerDelta& delta) {
   const int P = comm.size();
   const GlobalIndex n = static_cast<GlobalIndex>(new_map.size());
-  CHAOS_CHECK(n == old.n_, "patched table must cover the same element set");
   CHAOS_CHECK(delta.global_size() == n,
               "owner delta does not match the map size");
 
   if (old.mode_ == Mode::kReplicated) {
     TranslationTable t(Mode::kReplicated, n, P);
-    // Copy the old table wholesale, then re-derive only the unstable
-    // entries: a single counting walk maintains each proc's next offset
-    // under the new map, writing an entry only where the Home changed.
+    // Copy the old table wholesale (growth value-initializes the new tail
+    // to Home{-1,-1}, shrink drops the truncated dead run), then re-derive
+    // only the unstable entries: a single counting walk maintains each
+    // proc's next offset under the new map, writing an entry only where
+    // the Home changed. Tombstones (-1) hold Home{-1,-1} and no offset.
     t.homes_ = old.homes_;
+    t.homes_.resize(static_cast<size_t>(n));
     std::vector<GlobalIndex> next(static_cast<size_t>(P), 0);
     for (GlobalIndex g = 0; g < n; ++g) {
       const int proc = new_map[static_cast<size_t>(g)];
-      CHAOS_CHECK(proc >= 0 && proc < P,
-                  "map array names a processor outside the machine");
-      const GlobalIndex off = next[static_cast<size_t>(proc)]++;
       Home& h = t.homes_[static_cast<size_t>(g)];
+      if (proc < 0) {
+        if (h != Home{}) h = Home{};
+        continue;
+      }
+      CHAOS_CHECK(proc < P, "map array names a processor outside the machine");
+      const GlobalIndex off = next[static_cast<size_t>(proc)]++;
       if (h.proc != proc || h.offset != off) h = Home{proc, off};
     }
     t.owned_counts_ = next;
@@ -96,8 +106,8 @@ TranslationTable TranslationTable::patched(sim::Comm& comm,
   std::vector<GlobalIndex> my_counts(static_cast<size_t>(P), 0);
   for (GlobalIndex g = my_first; g < my_first + my_size; ++g) {
     const int proc = new_map[static_cast<size_t>(g)];
-    CHAOS_CHECK(proc >= 0 && proc < P,
-                "map array names a processor outside the machine");
+    if (proc < 0) continue;
+    CHAOS_CHECK(proc < P, "map array names a processor outside the machine");
     ++my_counts[static_cast<size_t>(proc)];
   }
   std::vector<GlobalIndex> all_counts = comm.allgatherv<GlobalIndex>(my_counts);
@@ -115,13 +125,28 @@ TranslationTable TranslationTable::patched(sim::Comm& comm,
       next[static_cast<size_t>(p)] +=
           all_counts[static_cast<size_t>(r) * P + static_cast<size_t>(p)];
 
-  t.homes_ = old.homes_;
-  t.homes_.resize(static_cast<size_t>(my_size));
+  // A size change shifts the BLOCK page boundaries, so the old page's
+  // entries no longer align with mine — start from a fresh page of
+  // tombstone Homes instead of copy-patching (the walk below then writes
+  // every live entry, reproducing the cold build bitwise).
+  if (n == old.n_) {
+    t.homes_ = old.homes_;
+    t.homes_.resize(static_cast<size_t>(my_size));
+  } else {
+    t.homes_.assign(static_cast<size_t>(my_size), Home{});
+  }
   GlobalIndex patched_here = 0;
   for (GlobalIndex g = my_first; g < my_first + my_size; ++g) {
     const int proc = new_map[static_cast<size_t>(g)];
-    const GlobalIndex off = next[static_cast<size_t>(proc)]++;
     Home& h = t.homes_[static_cast<size_t>(g - my_first)];
+    if (proc < 0) {
+      if (h != Home{}) {
+        h = Home{};
+        ++patched_here;
+      }
+      continue;
+    }
+    const GlobalIndex off = next[static_cast<size_t>(proc)]++;
     if (h.proc != proc || h.offset != off) {
       h = Home{proc, off};
       ++patched_here;
@@ -151,8 +176,8 @@ TranslationTable TranslationTable::build_distributed(
   // counts[r*P + p] = number of elements proc p owns within rank r's page.
   std::vector<GlobalIndex> my_counts(static_cast<size_t>(P), 0);
   for (int proc : map_slice) {
-    CHAOS_CHECK(proc >= 0 && proc < P,
-                "map array names a processor outside the machine");
+    if (proc < 0) continue;
+    CHAOS_CHECK(proc < P, "map array names a processor outside the machine");
     ++my_counts[static_cast<size_t>(proc)];
   }
   std::vector<GlobalIndex> all_counts = comm.allgatherv<GlobalIndex>(my_counts);

@@ -57,7 +57,10 @@ class TranslationTable {
   /// mode as `old`), but the charged work is kDeltaScan per element plus
   /// kPatchMove per unstable entry rather than the full construction scan.
   /// Collective in distributed mode (per-page ownership counts exchange,
-  /// as in the cold build).
+  /// as in the cold build). The new map may differ in size from the old
+  /// one (dynamic insert/delete epochs): -1 tombstones keep Home{-1,-1},
+  /// grown tails value-initialize, and a distributed patch across a size
+  /// change re-derives this rank's (shifted) page from scratch.
   static TranslationTable patched(sim::Comm& comm,
                                   const TranslationTable& old,
                                   std::span<const int> new_map,
@@ -68,6 +71,14 @@ class TranslationTable {
 
   /// Number of elements owned by `proc` (available in both modes).
   GlobalIndex owned_count(int proc) const;
+
+  /// Total live (non-tombstoned) elements across the machine: equals
+  /// global_size() for a dense universe, less after deletions left holes.
+  GlobalIndex live_count() const {
+    GlobalIndex n = 0;
+    for (GlobalIndex c : owned_counts_) n += c;
+    return n;
+  }
 
   /// Translate a batch of global indices. In distributed mode this performs
   /// one collective query/reply exchange; all ranks must call it together

@@ -88,6 +88,9 @@ class Distribution {
   }
 
   GlobalIndex global_size() const { return table_.global_size(); }
+  /// Live (non-tombstoned) elements; < global_size() when deletions left
+  /// holes in the numbering (dynamic index spaces).
+  GlobalIndex live_count() const { return table_.live_count(); }
   const core::TranslationTable& table() const { return table_; }
 
   /// The map array (map[g] = owning processor) the distribution was built

@@ -40,9 +40,36 @@ DistHandle Runtime::repartition(DistHandle from, core::PartitionerKind kind,
   const DistEntry& e = dist_entry(from);
   const std::vector<GlobalIndex> my_ids =
       e.dist->owned_globals(comm_.rank());
-  std::vector<int> map = partition_map(kind, my_ids, my_points, my_weights,
-                                       e.dist->global_size());
-  return repartition(from, std::move(map));
+  const GlobalIndex n = e.dist->global_size();
+  if (e.dist->live_count() == n) {
+    std::vector<int> map =
+        partition_map(kind, my_ids, my_points, my_weights, n);
+    return repartition(from, std::move(map));
+  }
+
+  // Holey universe (dynamic deletions): the partitioners require a dense
+  // id range, so partition in the compressed live-id space — rank of each
+  // live id among live ids, computable locally from the replicated map —
+  // and scatter the result back over the tombstones.
+  const std::vector<int>& old_map = e.dist->map();
+  std::vector<GlobalIndex> comp_ids(my_ids.size());
+  {
+    std::size_t k = 0;
+    GlobalIndex comp = 0;
+    for (GlobalIndex g = 0; g < n && k < my_ids.size(); ++g) {
+      if (old_map[static_cast<std::size_t>(g)] < 0) continue;
+      if (g == my_ids[k]) comp_ids[k++] = comp;
+      ++comp;
+    }
+  }
+  std::vector<int> cmap = partition_map(kind, comp_ids, my_points, my_weights,
+                                        e.dist->live_count());
+  std::vector<int> new_map(static_cast<std::size_t>(n), -1);
+  std::size_t c = 0;
+  for (GlobalIndex g = 0; g < n; ++g)
+    if (old_map[static_cast<std::size_t>(g)] >= 0)
+      new_map[static_cast<std::size_t>(g)] = cmap[c++];
+  return repartition(from, std::move(new_map));
 }
 
 DistHandle Runtime::repartition(DistHandle from, std::vector<int> new_map) {
@@ -63,6 +90,74 @@ DistHandle Runtime::repartition(DistHandle from, std::vector<int> new_map) {
   auto delta = std::make_shared<core::OwnerDelta>(
       core::OwnerDelta::compute(dist_entry(from).dist->map(), new_map));
   comm_.charge_work(static_cast<double>(new_map.size()) *
+                    core::costs::kDeltaScan);
+  lang::Distribution next = lang::Distribution::patched(
+      comm_, *dist_entry(from).dist, std::move(new_map), *delta);
+  const DistHandle h = adopt(std::move(next));  // may reallocate dists_
+  DistEntry& ne = dists_[h.id];
+  ne.parent = from.id;
+  ne.delta = std::move(delta);
+  ne.registry.seed_from(comm_, *ne.dist, dists_[from.id].registry,
+                        *ne.delta);
+  return h;
+}
+
+Runtime::InsertResult Runtime::insert_elements(DistHandle from,
+                                               std::span<const int> owners) {
+  std::vector<int> new_map = dist_entry(from).dist->map();
+  InsertResult out;
+  out.ids.reserve(owners.size());
+  // Fill the lowest tombstone holes first, then append past the end —
+  // keeps the numbering dense under birth/death churn instead of growing
+  // without bound.
+  GlobalIndex next_hole = 0;
+  for (int owner : owners) {
+    CHAOS_CHECK(owner >= 0 && owner < comm_.size(),
+                "insert_elements owner outside the machine");
+    while (next_hole < static_cast<GlobalIndex>(new_map.size()) &&
+           new_map[static_cast<std::size_t>(next_hole)] >= 0)
+      ++next_hole;
+    if (next_hole < static_cast<GlobalIndex>(new_map.size())) {
+      new_map[static_cast<std::size_t>(next_hole)] = owner;
+      out.ids.push_back(next_hole++);
+    } else {
+      new_map.push_back(owner);
+      out.ids.push_back(static_cast<GlobalIndex>(new_map.size()) - 1);
+    }
+  }
+  out.dist = dynamic_successor(from, std::move(new_map));
+  return out;
+}
+
+DistHandle Runtime::delete_elements(DistHandle from,
+                                    std::span<const GlobalIndex> dead) {
+  std::vector<int> new_map = dist_entry(from).dist->map();
+  for (GlobalIndex g : dead) {
+    CHAOS_CHECK(g >= 0 && g < static_cast<GlobalIndex>(new_map.size()),
+                "delete_elements id outside the universe");
+    CHAOS_CHECK(new_map[static_cast<std::size_t>(g)] >= 0,
+                "delete_elements id is already a tombstone");
+    new_map[static_cast<std::size_t>(g)] = -1;
+  }
+  // A trailing tombstone run shrinks the universe; interior holes stay so
+  // surviving ids never renumber.
+  while (!new_map.empty() && new_map.back() < 0) new_map.pop_back();
+  return dynamic_successor(from, std::move(new_map));
+}
+
+DistHandle Runtime::dynamic_successor(DistHandle from,
+                                      std::vector<int> new_map) {
+  if (!cross_epoch_reuse_) {
+    const bool paged = dist_entry(from).dist->table().mode() ==
+                       core::TranslationTable::Mode::kDistributed;
+    return paged ? irregular_paged(new_map) : irregular(new_map);
+  }
+  auto delta = std::make_shared<core::OwnerDelta>(
+      core::OwnerDelta::compute_dynamic(dist_entry(from).dist->map(),
+                                        new_map));
+  comm_.charge_work(static_cast<double>(
+                        std::max(new_map.size(),
+                                 dist_entry(from).dist->map().size())) *
                     core::costs::kDeltaScan);
   lang::Distribution next = lang::Distribution::patched(
       comm_, *dist_entry(from).dist, std::move(new_map), *delta);
@@ -128,6 +223,10 @@ std::size_t Runtime::registry_bytes() const {
   for (const DistEntry& e : dists_) {
     n += e.registry.footprint_bytes();
     if (e.dist) n += e.dist->table().footprint_bytes();
+    // Lineage deltas (including birth/death records of dynamic epochs) are
+    // held until compact(); count them so the accounting stays exact:
+    // registry_bytes() before == registry_bytes() after + compact().
+    if (e.delta) n += e.delta->footprint_bytes();
   }
   for (const ScheduleEntry& e : scheds_) {
     n += e.sched.footprint_bytes();

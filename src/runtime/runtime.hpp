@@ -157,10 +157,42 @@ class Runtime {
     return repartition(from, std::vector<int>(new_map.begin(), new_map.end()));
   }
 
+  // ---- dynamic index spaces ------------------------------------------
+  //
+  // A successor epoch may also grow or shrink the universe. Deleted
+  // elements become tombstones: the global id keeps its slot in the
+  // numbering (Home{-1,-1}, no owner, no data) so surviving ids never
+  // renumber; a trailing run of tombstones is truncated, shrinking
+  // global_size(). Insertions fill the lowest tombstone holes first and
+  // append past the end after that. Cross-epoch reuse applies unchanged:
+  // the table patches, the registry seeds from the predecessor (loops
+  // referencing a deleted element are dropped machine-wide and re-inspect
+  // cold), and plan_remap ships only moved survivors — born slots arrive
+  // value-initialized, deleted data is dropped. See docs/API.md "Dynamic
+  // index spaces".
+
+  struct InsertResult {
+    DistHandle dist;                 ///< the successor epoch
+    std::vector<GlobalIndex> ids;    ///< assigned id of owners[i], ascending
+  };
+
+  /// Insert `owners.size()` new elements, owned as given. `owners` must be
+  /// identical on every rank (replicated-argument collective). Returns the
+  /// successor epoch plus the assigned global ids (holes first, ascending,
+  /// then appended past the old end — ids pair with `owners` in order).
+  InsertResult insert_elements(DistHandle from, std::span<const int> owners);
+
+  /// Delete elements (global ids, identical on every rank; each must be
+  /// live in `from`). Returns the successor epoch: deleted ids become
+  /// tombstones, and a trailing tombstone run shrinks the universe.
+  DistHandle delete_elements(DistHandle from,
+                             std::span<const GlobalIndex> dead);
+
   /// Cross-epoch reuse switch. Disabling it forces every repartition()
-  /// back to the cold path: a from-scratch translation table and an empty
-  /// schedule registry for the new epoch (useful for A/B measurement and
-  /// as the reference arm of the equivalence suite).
+  /// (and insert/delete epoch) back to the cold path: a from-scratch
+  /// translation table and an empty schedule registry for the new epoch
+  /// (useful for A/B measurement and as the reference arm of the
+  /// equivalence suite).
   void set_cross_epoch_reuse(bool on) { cross_epoch_reuse_ = on; }
   bool cross_epoch_reuse() const { return cross_epoch_reuse_; }
 
@@ -537,6 +569,11 @@ class Runtime {
     /// execute once and are never compiled.
     mutable std::unique_ptr<const compile::SchedulePlan> compiled;
   };
+
+  /// Shared back half of insert_elements/delete_elements: adopt `new_map`
+  /// (which may differ in size from `from`'s map) as a successor epoch,
+  /// patching the table and seeding the registry when reuse is on.
+  DistHandle dynamic_successor(DistHandle from, std::vector<int> new_map);
 
   DistEntry& dist_entry(DistHandle h);
   const DistEntry& dist_entry(DistHandle h) const;

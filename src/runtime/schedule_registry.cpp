@@ -233,6 +233,28 @@ void ScheduleRegistry::seed_from(sim::Comm& comm,
 
   for (const auto& [ord, id] : order_ids) {
     const CachedLoop& pl = prior.loops_.at(id);
+
+    // Dynamic epochs: a loop whose reference stream touches a deleted
+    // element has no valid access set anymore — drop it machine-wide
+    // instead of seeding (its next inspect() rebuilds cold over the seeded
+    // table). The allreduce keeps every rank's per-loop collective
+    // sequence aligned; it only runs for dynamic deltas, so pure
+    // repartitions pay nothing new.
+    if (delta.is_dynamic()) {
+      bool touches_deleted = false;
+      for (GlobalIndex lr : pl.plan.local_refs) {
+        const auto* e = rev[static_cast<std::size_t>(lr)];
+        if (delta.deleted(e->global)) {
+          touches_deleted = true;
+          break;
+        }
+      }
+      if (comm.allreduce_max(touches_deleted ? 1 : 0) == 1) {
+        ++stats_.dropped_plans;
+        continue;
+      }
+    }
+
     const core::Stamp stamp = hash_->allocate_stamp();
 
     // Pass A: collect the unstable refs that are not yet seeded; only they

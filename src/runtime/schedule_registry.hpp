@@ -66,6 +66,9 @@ class ScheduleRegistry {
   /// slots (no request exchange); the rest regenerate their schedule from
   /// the seeded table. The seeded state is element-for-element what a cold
   /// inspector replay of the same plans (in the same order) would build.
+  /// Dynamic deltas (insert/delete epochs): a loop referencing a deleted
+  /// element is dropped machine-wide instead of seeded — its access set no
+  /// longer exists — and rebuilds cold at its next inspect().
   /// Collective.
   void seed_from(sim::Comm& comm, const lang::Distribution& dist,
                  const ScheduleRegistry& prior, const core::OwnerDelta& delta);
@@ -105,6 +108,10 @@ class ScheduleRegistry {
     std::uint64_t patched_schedules = 0;  ///< schedules kept, recv remapped
     std::uint64_t rebuilt_schedules = 0;  ///< schedules regenerated on seed
     std::uint64_t seed_translations = 0;  ///< unstable entries re-translated
+    /// Plans dropped at seed time because the loop referenced an element
+    /// deleted by a dynamic (insert/delete) epoch; the loop re-inspects
+    /// cold on next use.
+    std::uint64_t dropped_plans = 0;
     // Schedule-compilation counters (compile/schedule_plan.hpp).
     std::uint64_t compiled_plans = 0;    ///< plans lowered in this epoch
     std::uint64_t runs_detected = 0;     ///< segment ops covering runs

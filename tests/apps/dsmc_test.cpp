@@ -8,6 +8,7 @@
 
 #include "apps/dsmc/parallel.hpp"
 #include "apps/dsmc/sequential.hpp"
+#include "support/seeds.hpp"
 
 namespace chaos::dsmc {
 namespace {
@@ -361,6 +362,144 @@ TEST(DsmcStepGraph, ViewBuiltGraphBitwiseEqualsHandDeclared) {
     expect_exact_match(views.particles, hand.particles);
     EXPECT_EQ(views.collisions, hand.collisions);
     EXPECT_EQ(views.execution_time, hand.execution_time);
+  }
+}
+
+// ---- Birth/death (dynamic index spaces) ------------------------------------
+
+DsmcParams birth_death_params() {
+  DsmcParams p = small_params();
+  p.births_per_step = 25;
+  p.death_rate = 0.08;
+  return p;
+}
+
+TEST(DsmcBirthDeath, SequentialConservationMatchesClosedFormModel) {
+  // The id universe is a pure function of (seed, step): newborns get
+  // n_particles + step*births_per_step + i and absorption is decided by
+  // the absorbed() hash alone. Replay that model independently and demand
+  // the sequential driver's survivor id set equals it exactly.
+  DsmcParams p = birth_death_params();
+  const int steps = 10;
+  auto r = run_sequential_dsmc(p, steps);
+
+  std::set<GlobalIndex> model;
+  for (GlobalIndex id = 0; id < p.n_particles; ++id) model.insert(id);
+  for (int step = 0; step < steps; ++step) {
+    for (auto it = model.begin(); it != model.end();)
+      it = absorbed(p, *it, step) ? model.erase(it) : std::next(it);
+    for (GlobalIndex i = 0; i < p.births_per_step; ++i)
+      model.insert(p.n_particles + step * p.births_per_step + i);
+  }
+
+  ASSERT_EQ(r.particles.size(), model.size());
+  std::set<GlobalIndex> got;
+  for (const auto& q : r.particles) got.insert(q.id);
+  EXPECT_EQ(got, model);
+  // Deaths actually happened and births actually happened: the population
+  // is neither the initial count nor initial + all births.
+  EXPECT_NE(model.size(), static_cast<std::size_t>(p.n_particles));
+  EXPECT_LT(model.size(),
+            static_cast<std::size_t>(p.n_particles +
+                                     steps * p.births_per_step));
+}
+
+TEST(DsmcBirthDeath, AllExecutorsMatchSequentialWithRemapExactly) {
+  // True particle birth/death through every executor arm — including the
+  // pipelined step graph whose migration is in flight when newborns enter
+  // and absorbed particles leave — stays bitwise identical to the
+  // sequential driver, across periodic remaps of a drifting density.
+  DsmcParams p = birth_death_params();
+  p.nonuniform_init = true;
+  auto seq = run_sequential_dsmc(p, 9);
+
+  ParallelDsmcConfig cfg;
+  cfg.params = p;
+  cfg.steps = 9;
+  cfg.remap_every = 3;
+  cfg.collect_state = true;
+
+  ParallelDsmcResult pipelined;
+  for (const DsmcExecutor executor :
+       {DsmcExecutor::kStepGraph, DsmcExecutor::kStepGraphEager,
+        DsmcExecutor::kStepGraphArrival, DsmcExecutor::kImperative}) {
+    cfg.executor = executor;
+    sim::Machine m(4);
+    auto par = run_parallel_dsmc(m, cfg);
+    expect_exact_match(par.particles, seq.particles);
+    EXPECT_EQ(par.collisions, seq.collisions);
+    if (executor == DsmcExecutor::kStepGraph) pipelined = std::move(par);
+  }
+}
+
+TEST(DsmcBirthDeath, ParallelSweepMatchesAcrossProcessorCounts) {
+  DsmcParams p = birth_death_params();
+  auto seq = run_sequential_dsmc(p, 8);
+  for (const int P : {1, 2, 4, 6}) {
+    ParallelDsmcConfig cfg;
+    cfg.params = p;
+    cfg.steps = 8;
+    cfg.collect_state = true;
+    sim::Machine m(P);
+    auto par = run_parallel_dsmc(m, cfg);
+    expect_exact_match(par.particles, seq.particles);
+    EXPECT_EQ(par.collisions, seq.collisions);
+  }
+}
+
+TEST(DsmcBirthDeath, PeakBytesStayBelowFixedCapacityOverAllocation) {
+  // The point of dynamic index spaces for DSMC: storage tracks the LIVE
+  // population. The pre-dynamic shape had to provision one slot for every
+  // particle ever alive (initial + steps * births); with real deletion the
+  // summed per-rank peaks must come in clearly under that bound.
+  DsmcParams p = birth_death_params();
+  p.death_rate = 0.15;  // strong absorption: live population shrinks fast
+  const int steps = 12;
+  ParallelDsmcConfig cfg;
+  cfg.params = p;
+  cfg.steps = steps;
+  sim::Machine m(4);
+  auto par = run_parallel_dsmc(m, cfg);
+
+  const std::size_t ever_alive = static_cast<std::size_t>(
+      p.n_particles + steps * p.births_per_step);
+  const std::size_t fixed_capacity = ever_alive * sizeof(Particle);
+  EXPECT_GT(par.peak_particle_bytes, 0u);
+  EXPECT_LT(par.peak_particle_bytes, fixed_capacity);
+}
+
+TEST(DsmcBirthDeath, DeliveryPermutationFuzzStaysConservativeAndBitwise) {
+  // Adversarial message timing: migrate batches carrying newborn particles
+  // (and missing absorbed ones) are delivered in seeded-random permuted
+  // order with jittered latencies. Every permutation must conserve the
+  // model id universe and agree bitwise with the unperturbed oracle.
+  DsmcParams p = birth_death_params();
+  p.nonuniform_init = true;
+
+  ParallelDsmcConfig cfg;
+  cfg.params = p;
+  cfg.steps = 8;
+  cfg.remap_every = 4;
+  cfg.collect_state = true;
+
+  sim::Machine oracle_m(4);
+  const auto oracle = run_parallel_dsmc(oracle_m, cfg);
+  std::set<GlobalIndex> oracle_ids;
+  for (const auto& q : oracle.particles) oracle_ids.insert(q.id);
+
+  const std::uint64_t nseeds =
+      chaos::testing_support::seed_count(10, "CHAOS_DSMC_FUZZ_SEEDS");
+  for (std::uint64_t seed = 1; seed <= nseeds; ++seed) {
+    SCOPED_TRACE("perm seed=" + std::to_string(seed));
+    sim::Machine m(4);
+    m.set_delivery_permutation(seed, 1e-3 * (1.0 + static_cast<double>(seed % 7)));
+    auto par = run_parallel_dsmc(m, cfg);
+    std::set<GlobalIndex> ids;
+    for (const auto& q : par.particles) ids.insert(q.id);
+    ASSERT_EQ(ids, oracle_ids);  // conservation: nothing lost or duplicated
+    expect_exact_match(par.particles, oracle.particles);
+    EXPECT_EQ(par.collisions, oracle.collisions);
+    if (::testing::Test::HasFailure()) break;
   }
 }
 

@@ -34,6 +34,7 @@
 #include "compile/schedule_plan.hpp"
 #include "runtime/runtime.hpp"
 #include "support/equivalence.hpp"
+#include "support/seeds.hpp"
 #include "util/rng.hpp"
 
 namespace chaos {
@@ -46,10 +47,8 @@ using sim::Comm;
 using sim::Machine;
 namespace ts = testing_support;
 
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
-}
+using testing_support::env_seed_u64;
+using testing_support::seed_count;
 
 Schedule one_send_block(std::vector<GlobalIndex> idx) {
   std::vector<ScheduleBlock> send;
@@ -349,8 +348,8 @@ void run_compiled_equivalence_scenario(std::uint64_t seed, bool paged) {
 }
 
 TEST(ScheduleCompile, RandomizedEquivalenceReplicated) {
-  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 5);
-  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  const std::uint64_t seeds = seed_count(5, "CHAOS_COMPILE_SEEDS");
+  const std::uint64_t base = env_seed_u64("CHAOS_COMPILE_SEED_BASE", 1);
   for (std::uint64_t s = 0; s < seeds; ++s) {
     SCOPED_TRACE("seed " + std::to_string(base + s));
     run_compiled_equivalence_scenario(base + s, /*paged=*/false);
@@ -358,8 +357,8 @@ TEST(ScheduleCompile, RandomizedEquivalenceReplicated) {
 }
 
 TEST(ScheduleCompile, RandomizedEquivalencePaged) {
-  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 3);
-  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  const std::uint64_t seeds = seed_count(3, "CHAOS_COMPILE_SEEDS");
+  const std::uint64_t base = env_seed_u64("CHAOS_COMPILE_SEED_BASE", 1);
   for (std::uint64_t s = 0; s < seeds; ++s) {
     SCOPED_TRACE("seed " + std::to_string(base + s));
     run_compiled_equivalence_scenario(base + s, /*paged=*/true);
@@ -374,8 +373,8 @@ TEST(ScheduleCompile, RandomizedEquivalencePaged) {
 /// re-localized references (data[local_ref[j]] must hold the value of
 /// global element refs[j], whatever slot that now is).
 TEST(ScheduleCompile, RandomizedLocalityRemapEquivalence) {
-  const std::uint64_t seeds = env_u64("CHAOS_COMPILE_SEEDS", 3);
-  const std::uint64_t base = env_u64("CHAOS_COMPILE_SEED_BASE", 1);
+  const std::uint64_t seeds = seed_count(3, "CHAOS_COMPILE_SEEDS");
+  const std::uint64_t base = env_seed_u64("CHAOS_COMPILE_SEED_BASE", 1);
   for (std::uint64_t s = 0; s < seeds; ++s) {
     const std::uint64_t seed = base + s;
     SCOPED_TRACE("seed " + std::to_string(seed));

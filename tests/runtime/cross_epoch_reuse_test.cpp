@@ -23,8 +23,9 @@
 //     introduce FP noise,
 //   - the hot arm never performs more translations than the cold arm.
 //
-// Seed count and base are env-overridable so the CI stress label
-// (ctest -L stress) can run extra random seeds under ASan+UBSan:
+// Seed counts come from the shared `--seeds=N` knob, then the historical
+// env overrides the CI stress label (ctest -L stress) sets to run extra
+// random seeds under ASan+UBSan:
 //   CHAOS_REUSE_SEEDS=10 CHAOS_REUSE_SEED_BASE=1000
 #include <gtest/gtest.h>
 
@@ -34,6 +35,7 @@
 
 #include "runtime/runtime.hpp"
 #include "support/equivalence.hpp"
+#include "support/seeds.hpp"
 #include "util/rng.hpp"
 
 namespace chaos {
@@ -44,10 +46,7 @@ using sim::Comm;
 using sim::Machine;
 namespace ts = testing_support;
 
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
-}
+using ts::env_seed_u64;
 
 /// One randomized scenario: a random mesh, 1..3 irregular loops, 2..4
 /// repartition rounds with varied stability regimes, occasional
@@ -433,8 +432,8 @@ TEST(CrossEpochReuse, IdenticalMapCarriesEverything) {
 // ---- the randomized suite ---------------------------------------------------
 
 TEST(CrossEpochReuse, RandomizedFullRebuildEquivalence) {
-  const std::uint64_t seeds = env_u64("CHAOS_REUSE_SEEDS", 100);
-  const std::uint64_t base = env_u64("CHAOS_REUSE_SEED_BASE", 1);
+  const std::uint64_t seeds = ts::seed_count(100, "CHAOS_REUSE_SEEDS");
+  const std::uint64_t base = env_seed_u64("CHAOS_REUSE_SEED_BASE", 1);
   for (std::uint64_t s = base; s < base + seeds; ++s) {
     SCOPED_TRACE("seed=" + std::to_string(s));
     run_equivalence_scenario(s, /*paged=*/false);
@@ -446,8 +445,8 @@ TEST(CrossEpochReuse, RandomizedEquivalenceWithPagedTables) {
   // Paged tables route every translation through a query/reply exchange;
   // a smaller sweep keeps the suite fast while covering the communicating
   // lookup path of seeding and delta remap planning.
-  const std::uint64_t seeds = env_u64("CHAOS_REUSE_PAGED_SEEDS", 12);
-  const std::uint64_t base = env_u64("CHAOS_REUSE_SEED_BASE", 1);
+  const std::uint64_t seeds = ts::seed_count(12, "CHAOS_REUSE_PAGED_SEEDS");
+  const std::uint64_t base = env_seed_u64("CHAOS_REUSE_SEED_BASE", 1);
   for (std::uint64_t s = base; s < base + seeds; ++s) {
     SCOPED_TRACE("paged seed=" + std::to_string(s));
     run_equivalence_scenario(s, /*paged=*/true);

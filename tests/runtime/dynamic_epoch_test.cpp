@@ -1,0 +1,679 @@
+// Dynamic index spaces: insert/delete deltas, proven by a randomized
+// birth/death equivalence harness (the PR-3 suite idiom extended to
+// universes that grow and shrink).
+//
+// Tentpole property: for seeded random streams of interleaved insert /
+// delete / repartition events (tests/support/dynamic_fuzz.hpp), a Runtime
+// taking the dynamic-successor path — patched translation tables across
+// size changes, seeded registries with machine-wide loop drops for
+// deleted references, delta remap plans that drop dead data and
+// value-initialize born slots — must be element-for-element equivalent to
+// a Runtime that rebuilds everything cold. Both translation modes
+// (replicated and paged) and both step-graph arms (pipelined and eager)
+// are covered; the fuzz generator's replicated map model additionally
+// pins the runtime's hole-filling id assignment and trailing-tombstone
+// truncation against an independent reimplementation.
+//
+// Comparison discipline (inherited from the cross-epoch suite): executor
+// results are comparable in EVERY regime; localized refs / schedules /
+// extents only while no loop was dropped or mutated-without-re-inspection
+// across an epoch boundary (after a drop the hot arm re-inspects against
+// a seeded ghost numbering, so slot order legitimately diverges from the
+// cold arm's replay order).
+//
+// Seed count: `--seeds=N` on the command line (the shared knob), then
+// CHAOS_DYNAMIC_SEEDS / CHAOS_DYNAMIC_PAGED_SEEDS, then the defaults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lang/array.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
+#include "support/dynamic_fuzz.hpp"
+#include "support/equivalence.hpp"
+#include "support/seeds.hpp"
+#include "util/rng.hpp"
+
+namespace chaos {
+namespace {
+
+using core::GlobalIndex;
+using sim::Comm;
+using sim::Machine;
+namespace ts = testing_support;
+using ts::DynamicEvent;
+using ts::DynamicFuzz;
+
+/// One randomized scenario: a random universe, 1..3 irregular loops, 3..6
+/// interleaved insert/delete/repartition events with occasional
+/// indirection churn.
+void run_dynamic_scenario(std::uint64_t seed, bool paged) {
+  Rng shape_rng(seed);
+  const int P = 2 + static_cast<int>(shape_rng.below(3));
+  const GlobalIndex n0 = 30 + static_cast<GlobalIndex>(shape_rng.below(90));
+  const int nloops = 1 + static_cast<int>(shape_rng.below(3));
+  const int nevents = 3 + static_cast<int>(shape_rng.below(4));
+
+  Machine m(P);
+  m.run([&](Comm& comm) {
+    Runtime hot(comm);
+    Runtime cold(comm);
+    cold.set_cross_epoch_reuse(false);
+
+    // Every rank constructs the identical fuzz stream (same seed); the
+    // model map doubles as the expected replicated owner map.
+    DynamicFuzz fuzz(seed, P, n0);
+    DistHandle dh = paged ? hot.irregular_paged(fuzz.map())
+                          : hot.irregular(fuzz.map());
+    DistHandle dc = paged ? cold.irregular_paged(fuzz.map())
+                          : cold.irregular(fuzz.map());
+
+    // Machine-wide decisions come from a rng every rank seeds identically;
+    // per-rank reference content from a rank-salted rng, drawn over the
+    // CURRENT live ids so references never target tombstones.
+    Rng global_rng(seed * 31 + 7);
+    Rng ref_rng(seed * 7919 + 101 +
+                static_cast<std::uint64_t>(comm.rank()) * 65537);
+    auto random_refs = [&]() {
+      const std::vector<GlobalIndex> live = fuzz.live_ids();
+      std::vector<GlobalIndex> refs(ref_rng.below(50));  // sometimes empty
+      for (GlobalIndex& g : refs)
+        g = live[static_cast<std::size_t>(ref_rng.below(live.size()))];
+      return refs;
+    };
+
+    std::vector<lang::IndirectionArray> inds(static_cast<std::size_t>(nloops));
+    for (auto& ind : inds) ind.assign(random_refs());
+    std::vector<LoopHandle> lh(inds.size()), lc(inds.size());
+    std::vector<ScheduleHandle> sh(inds.size()), sc(inds.size());
+    const auto inspect_all = [&]() {
+      for (std::size_t l = 0; l < inds.size(); ++l) {
+        lh[l] = hot.bind(dh, inds[l]);
+        sh[l] = hot.inspect(lh[l]);
+        lc[l] = cold.bind(dc, inds[l]);
+        sc[l] = cold.inspect(lc[l]);
+      }
+    };
+
+    // True until a loop is dropped (its references touched a deleted
+    // element) or an indirection array crosses an epoch boundary without
+    // re-inspection — in both regimes ghost slot order legitimately
+    // diverges and only executor results stay comparable.
+    bool structural = true;
+
+    // Non-fatal checks only: every rank must keep executing the same
+    // collective sequence even after a mismatch, or the machine deadlocks.
+    const auto first_mismatch = [](std::span<const double> a,
+                                   std::span<const double> b,
+                                   const std::string& what) {
+      EXPECT_EQ(a.size(), b.size()) << what;
+      for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        if (a[i] != b[i]) {
+          ADD_FAILURE() << what << ": first mismatch at [" << i << "]: "
+                        << a[i] << " vs " << b[i];
+          return;
+        }
+    };
+
+    const auto verify = [&]() {
+      EXPECT_TRUE(
+          ts::tables_equal(hot.dist(dh).table(), cold.dist(dc).table()));
+      // The model pins the universe: size (including trailing-tombstone
+      // truncation) and this rank's share of the live elements.
+      EXPECT_EQ(hot.global_size(dh),
+                static_cast<GlobalIndex>(fuzz.map().size()));
+      GlobalIndex expect_owned = 0;
+      for (int p : fuzz.map())
+        if (p == comm.rank()) ++expect_owned;
+      EXPECT_EQ(hot.owned_count(dh), expect_owned);
+      EXPECT_EQ(cold.owned_count(dc), expect_owned);
+
+      const std::vector<GlobalIndex> mine = hot.owned_globals(dh);
+      if (structural) {
+        EXPECT_EQ(hot.local_extent(dh), cold.local_extent(dc));
+        for (std::size_t l = 0; l < inds.size(); ++l) {
+          EXPECT_TRUE(ts::spans_equal(hot.local_refs(lh[l]),
+                                      cold.local_refs(lc[l]),
+                                      "localized refs"));
+          EXPECT_TRUE(
+              ts::schedules_equal(hot.schedule(sh[l]), cold.schedule(sc[l])));
+          EXPECT_EQ(hot.extent(sh[l]), cold.extent(sc[l]));
+        }
+      }
+
+      // Executor equivalence, loop by loop (integer-valued payloads so
+      // combining order cannot introduce FP noise).
+      const GlobalIndex owned = hot.owned_count(dh);
+      for (std::size_t l = 0; l < inds.size(); ++l) {
+        const auto eh = static_cast<std::size_t>(hot.extent(sh[l]));
+        const auto ec = static_cast<std::size_t>(cold.extent(sc[l]));
+        std::vector<double> xh(eh, -1.0), xc(ec, -1.0);
+        for (GlobalIndex i = 0; i < owned; ++i) {
+          const double v =
+              static_cast<double>(mine[static_cast<std::size_t>(i)] * 3 + 1);
+          xh[static_cast<std::size_t>(i)] = v;
+          xc[static_cast<std::size_t>(i)] = v;
+        }
+        hot.gather<double>(sh[l], std::span<double>{xh});
+        cold.gather<double>(sc[l], std::span<double>{xc});
+        const auto rh = hot.local_refs(lh[l]);
+        const auto rc = cold.local_refs(lc[l]);
+        EXPECT_EQ(rh.size(), rc.size());
+        if (rh.size() == rc.size()) {
+          std::vector<double> vh(rh.size()), vc(rc.size());
+          for (std::size_t k = 0; k < rh.size(); ++k) {
+            vh[k] = xh[static_cast<std::size_t>(rh[k])];
+            vc[k] = xc[static_cast<std::size_t>(rc[k])];
+          }
+          first_mismatch(vh, vc,
+                         "gathered values of loop " + std::to_string(l));
+        }
+
+        std::vector<double> ah(eh, 0.0), ac(ec, 0.0);
+        for (std::size_t k = 0; k < rh.size(); ++k)
+          ah[static_cast<std::size_t>(rh[k])] += static_cast<double>(k + 1);
+        for (std::size_t k = 0; k < rc.size(); ++k)
+          ac[static_cast<std::size_t>(rc[k])] += static_cast<double>(k + 1);
+        hot.scatter_add<double>(sh[l], std::span<double>{ah});
+        cold.scatter_add<double>(sc[l], std::span<double>{ac});
+        first_mismatch(
+            std::span<const double>{ah.data(), static_cast<std::size_t>(owned)},
+            std::span<const double>{ac.data(), static_cast<std::size_t>(owned)},
+            "scatter_add owned region of loop " + std::to_string(l));
+      }
+    };
+
+    inspect_all();
+    verify();
+
+    for (int round = 0; round < nevents; ++round) {
+      // Occasionally mutate one indirection array. Half the time it is
+      // re-inspected before the event (structural equivalence preserved);
+      // otherwise the stale plan crosses the epoch boundary.
+      if (global_rng.uniform() < 0.3) {
+        const auto l = static_cast<std::size_t>(
+            global_rng.below(static_cast<std::uint64_t>(nloops)));
+        inds[l].assign(random_refs());
+        if (global_rng.uniform() < 0.5) {
+          inspect_all();
+          verify();
+        } else {
+          structural = false;
+        }
+      }
+
+      const DynamicEvent e = fuzz.next();  // identical on every rank
+      const std::vector<GlobalIndex> mine_old = hot.owned_globals(dh);
+      DistHandle ndh, ndc;
+      switch (e.kind) {
+        case DynamicEvent::Kind::kInsert: {
+          const Runtime::InsertResult rh =
+              hot.insert_elements(dh, std::span<const int>{e.owners});
+          const Runtime::InsertResult rc =
+              cold.insert_elements(dc, std::span<const int>{e.owners});
+          // Hole-filling id assignment must match the model (and the
+          // model-independent cold arm) exactly.
+          EXPECT_TRUE(ts::spans_equal(rh.ids, e.ids, "assigned ids (hot)"));
+          EXPECT_TRUE(ts::spans_equal(rc.ids, e.ids, "assigned ids (cold)"));
+          ndh = rh.dist;
+          ndc = rc.dist;
+          break;
+        }
+        case DynamicEvent::Kind::kDelete:
+          ndh = hot.delete_elements(dh, std::span<const GlobalIndex>{e.dead});
+          ndc = cold.delete_elements(dc, std::span<const GlobalIndex>{e.dead});
+          break;
+        case DynamicEvent::Kind::kRepartition:
+          ndh = hot.repartition(dh, std::span<const int>{e.new_map});
+          ndc = cold.repartition(dc, std::span<const int>{e.new_map});
+          break;
+      }
+
+      // The successor table must equal one built directly from the model
+      // map — not just the cold arm's (both arms share the runtime's map
+      // derivation; the model is the independent oracle).
+      {
+        const lang::Distribution ref =
+            paged ? lang::Distribution::irregular_paged(comm, fuzz.map())
+                  : lang::Distribution::irregular(comm, fuzz.map());
+        EXPECT_TRUE(ts::tables_equal(hot.dist(ndh).table(), ref.table()));
+      }
+
+      // Remap planning and execution: delta plan == cold plan bitwise;
+      // dead data dropped, born slots value-initialized, survivors moved.
+      const ScheduleHandle rmh = hot.plan_remap(dh, ndh);
+      const ScheduleHandle rmc = cold.plan_remap(dc, ndc);
+      EXPECT_TRUE(ts::schedules_equal(hot.schedule(rmh), cold.schedule(rmc)));
+      {
+        std::vector<double> src(mine_old.size());
+        for (std::size_t i = 0; i < src.size(); ++i)
+          src[i] = static_cast<double>(mine_old[i] * 7 + round + 1);
+        const std::vector<double> dst_hot =
+            hot.remap<double>(rmh, std::span<const double>{src});
+        const std::vector<double> dst_cold =
+            cold.remap<double>(rmc, std::span<const double>{src});
+        EXPECT_TRUE(ts::spans_equal(dst_hot, dst_cold, "remapped array"));
+        // Model check: survivors carry their value, born slots arrive as
+        // T{} on both arms.
+        const std::vector<GlobalIndex> mine_new = hot.owned_globals(ndh);
+        ASSERT_EQ(dst_hot.size(), mine_new.size());
+        for (std::size_t i = 0; i < mine_new.size(); ++i) {
+          const bool born =
+              e.kind == DynamicEvent::Kind::kInsert &&
+              std::find(e.ids.begin(), e.ids.end(), mine_new[i]) !=
+                  e.ids.end();
+          EXPECT_EQ(dst_hot[i],
+                    born ? 0.0
+                         : static_cast<double>(mine_new[i] * 7 + round + 1))
+              << (born ? "born" : "surviving") << " global " << mine_new[i];
+        }
+      }
+
+      hot.retire(dh);
+      cold.retire(dc);
+      dh = ndh;
+      dc = ndc;
+
+      // Any indirection array now referencing a tombstone (or an id past a
+      // truncated end) must be regenerated before re-inspection — the
+      // adaptive-mesh flow: connectivity is rewritten when elements
+      // vanish. A machine-wide drop means the hot arm re-inspects against
+      // seeded ghost numbering, so structural comparison ends.
+      if (e.kind == DynamicEvent::Kind::kDelete) {
+        int regen = 0;
+        for (auto& ind : inds) {
+          bool dead_ref = false;
+          for (GlobalIndex g : ind.values())
+            if (g >= static_cast<GlobalIndex>(fuzz.map().size()) ||
+                fuzz.map()[static_cast<std::size_t>(g)] < 0) {
+              dead_ref = true;
+              break;
+            }
+          if (dead_ref) {
+            ind.assign(random_refs());
+            regen = 1;
+          }
+        }
+        if (comm.allreduce_max(regen) == 1) structural = false;
+      }
+
+      inspect_all();
+      verify();
+    }
+  });
+}
+
+// ---- deterministic anchor cases --------------------------------------------
+
+// Insert into a holey universe: ids fill the lowest tombstone holes in
+// ascending order, then append past the end; the successor table equals a
+// cold build of the same map bitwise and carries the predecessor's loops.
+TEST(DynamicEpoch, InsertFillsHolesThenAppends) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 0, 1, 1, 0, 1, 0, 1};
+    DistHandle e0 = rt.irregular(map);
+
+    // Tombstone 1 and 5, then insert four: 1 and 5 refill, 8 and 9 append.
+    const std::vector<GlobalIndex> dead{1, 5};
+    const DistHandle e1 =
+        rt.delete_elements(e0, std::span<const GlobalIndex>{dead});
+    EXPECT_EQ(rt.global_size(e1), 8);  // interior holes do not truncate
+
+    const std::vector<int> owners{1, 0, 0, 1};
+    const Runtime::InsertResult ins =
+        rt.insert_elements(e1, std::span<const int>{owners});
+    const std::vector<GlobalIndex> want{1, 5, 8, 9};
+    EXPECT_TRUE(testing_support::spans_equal(ins.ids, want, "assigned ids"));
+    EXPECT_EQ(rt.global_size(ins.dist), 10);
+
+    const std::vector<int> full{0, 1, 1, 1, 0, 0, 0, 1, 0, 1};
+    const lang::Distribution ref = lang::Distribution::irregular(comm, full);
+    EXPECT_TRUE(
+        testing_support::tables_equal(rt.dist(ins.dist).table(), ref.table()));
+  });
+}
+
+// Deleting a trailing run truncates the universe; an interior tombstone
+// does not renumber survivors.
+TEST(DynamicEpoch, DeleteTruncatesTrailingTombstoneRun) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 1, 0, 1, 0, 1};
+    DistHandle e0 = rt.irregular(map);
+
+    const std::vector<GlobalIndex> dead{2, 4, 5};
+    const DistHandle e1 =
+        rt.delete_elements(e0, std::span<const GlobalIndex>{dead});
+    // 4 and 5 trail (4's hole merges with 5's) -> size 4; 2 stays a hole.
+    EXPECT_EQ(rt.global_size(e1), 4);
+    const std::vector<int> full{0, 1, -1, 1};
+    const lang::Distribution ref = lang::Distribution::irregular(comm, full);
+    EXPECT_TRUE(
+        testing_support::tables_equal(rt.dist(e1).table(), ref.table()));
+
+    // Survivor 3 kept its id; owned sets reflect only live elements.
+    const std::vector<GlobalIndex> mine = rt.owned_globals(e1);
+    if (comm.rank() == 1) {
+      const std::vector<GlobalIndex> want{1, 3};
+      EXPECT_TRUE(testing_support::spans_equal(mine, want, "rank-1 globals"));
+    }
+  });
+}
+
+// A loop whose references touch a deleted element is dropped machine-wide
+// at seed time (dropped_plans stat); untouched loops carry. Re-inspecting
+// the dropped loop against regenerated references works cold.
+TEST(DynamicEpoch, LoopTouchingDeletedElementIsDroppedMachineWide) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 0, 0, 0, 1, 1, 1, 1};
+    DistHandle e0 = rt.irregular(map);
+
+    lang::IndirectionArray touches, avoids;
+    if (comm.rank() == 0) touches.assign({0, 6, 3});  // references global 6
+    if (comm.rank() == 1) avoids.assign({1, 4, 2});
+    (void)rt.inspect(rt.bind(e0, touches));
+    (void)rt.inspect(rt.bind(e0, avoids));
+
+    const std::vector<GlobalIndex> dead{6};
+    const DistHandle e1 =
+        rt.delete_elements(e0, std::span<const GlobalIndex>{dead});
+    const auto rs = rt.registry_stats(e1);
+    EXPECT_EQ(rs.dropped_plans, 1u);
+    EXPECT_EQ(rs.carried_plans, 1u);
+
+    // The untouched loop's carried plan serves immediately; the dropped
+    // loop re-inspects from regenerated references.
+    touches.assign(comm.rank() == 0 ? std::vector<GlobalIndex>{0, 5, 3}
+                                    : std::vector<GlobalIndex>{});
+    const ScheduleHandle s = rt.inspect(rt.bind(e1, touches));
+    std::vector<double> x(static_cast<std::size_t>(rt.extent(s)), 0.0);
+    const std::vector<GlobalIndex> mine = rt.owned_globals(e1);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      x[i] = static_cast<double>(mine[i]);
+    rt.gather<double>(s, std::span<double>{x});
+    const auto refs = rt.local_refs(rt.bind(e1, touches));
+    const auto vals = touches.values();
+    for (std::size_t k = 0; k < refs.size(); ++k)
+      EXPECT_EQ(x[static_cast<std::size_t>(refs[k])],
+                static_cast<double>(vals[k]));
+  });
+}
+
+// Translating a reference to a tombstoned element is a loud error, not a
+// silent stale read. (Every rank references the dead id so every rank
+// throws at the same point of the collective sequence.)
+TEST(DynamicEpoch, InspectingDeadReferenceThrows) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 0, 1, 1, 0, 1};
+    DistHandle e0 = rt.irregular(map);
+    const std::vector<GlobalIndex> dead{3};
+    const DistHandle e1 =
+        rt.delete_elements(e0, std::span<const GlobalIndex>{dead});
+
+    lang::IndirectionArray ind;
+    ind.assign({static_cast<GlobalIndex>(comm.rank()), 3});  // 3 is dead
+    EXPECT_THROW(rt.inspect(rt.bind(e1, ind)), Error);
+  });
+}
+
+// ---- the step-graph arms ---------------------------------------------------
+
+constexpr int kGraphRanks = 4;
+constexpr GlobalIndex kGraphN = 48;
+
+struct GraphResult {
+  std::vector<double> x;
+};
+
+/// A gather/advance cycle over chaos::Array<double> views with a mid-run
+/// birth/death epoch: delete two interior elements plus the trailing four
+/// (universe shrinks 48 -> 44), then insert six (holes 30/33 refill, four
+/// append — universe grows back to 48). Arrays retarget across both size
+/// changes; the graph re-arms onto the final epoch. `reuse` selects the
+/// seeded dynamic-successor path vs a cold rebuild.
+GraphResult run_dynamic_graph_cycle(bool pipelining, bool reuse, int iters) {
+  GraphResult out;
+  Machine m(kGraphRanks);
+  m.run([&](Comm& c) {
+    Runtime rt(c);
+    rt.set_cross_epoch_reuse(reuse);
+    std::vector<int> map(static_cast<std::size_t>(kGraphN));
+    for (GlobalIndex i = 0; i < kGraphN; ++i)
+      map[static_cast<std::size_t>(i)] = static_cast<int>(i) % kGraphRanks;
+    DistHandle d = rt.irregular(map);
+
+    // References stay within ids 0..23 — all survive the deletions, so
+    // the loop seeds/carries across the dynamic epochs.
+    std::vector<GlobalIndex> refs;
+    for (int k = 0; k < 9; ++k)
+      refs.push_back(static_cast<GlobalIndex>(
+          (c.rank() * 6 + 3 * k + 1) % 24));
+    lang::IndirectionArray ind(refs);
+    ScheduleHandle h = rt.inspect(rt.bind(d, ind));
+    std::span<const GlobalIndex> lrefs = rt.local_refs(rt.bind(d, ind));
+
+    Array<double> x(rt, d, "x"), y(rt, d, "y");
+    x.fill([](GlobalIndex g) {
+      return 1.0 + 0.5 * static_cast<double>(g % 7);
+    });
+
+    StepGraph g(rt);
+    g.set_pipelining(pipelining);
+    g.step("halo").bind(in(x).via(h), update(y)).compute([&] {
+      for (GlobalIndex r = 0; r < y.owned(); ++r)
+        y[r] = 0.5 * x[r] +
+               0.125 * x[lrefs[static_cast<std::size_t>(r) % lrefs.size()]];
+    });
+    g.step("advance").bind(use(y), update(x)).compute([&] {
+      for (GlobalIndex r = 0; r < x.owned(); ++r)
+        x[r] = 0.5 * x[r] + 0.25 * y[r] + 0.0625;
+    });
+
+    for (int it = 0; it < iters; ++it) {
+      if (it == iters / 2) {
+        g.quiesce();  // hoisted gathers hold spans into x until completion
+
+        // Death: interior holes at 30 and 33, trailing run 44..47.
+        const std::vector<GlobalIndex> dead{30, 33, 44, 45, 46, 47};
+        const DistHandle d1 =
+            rt.delete_elements(d, std::span<const GlobalIndex>{dead});
+        EXPECT_EQ(rt.global_size(d1), 44);
+        const ScheduleHandle plan1 = rt.plan_remap(d, d1);
+        x.retarget(plan1, d1);  // shrinks: dead slots dropped
+        y.retarget(plan1, d1);
+        rt.retire(d);
+
+        // Birth: six newborns refill 30 and 33, then append 44..47.
+        const std::vector<int> owners{2, 1, 0, 3, 1, 2};
+        const Runtime::InsertResult ins =
+            rt.insert_elements(d1, std::span<const int>{owners});
+        const std::vector<GlobalIndex> want{30, 33, 44, 45, 46, 47};
+        EXPECT_TRUE(
+            testing_support::spans_equal(ins.ids, want, "assigned ids"));
+        const DistHandle d2 = ins.dist;
+        const ScheduleHandle plan2 = rt.plan_remap(d1, d2);
+        x.retarget(plan2, d2);  // grows: born slots arrive as 0.0
+        y.retarget(plan2, d2);
+        rt.retire(d1);
+
+        // Seed the newborns deterministically (both arms do the same).
+        for (std::size_t i = 0; i < x.globals().size(); ++i) {
+          const GlobalIndex gid = x.globals()[i];
+          if (std::find(want.begin(), want.end(), gid) != want.end()) {
+            EXPECT_EQ(x[static_cast<GlobalIndex>(i)], 0.0);
+            x[static_cast<GlobalIndex>(i)] =
+                3.0 + 0.25 * static_cast<double>(gid);
+          }
+        }
+
+        const ScheduleHandle h2 = rt.inspect(rt.bind(d2, ind));
+        g.retarget(h, h2);  // quiesces, re-arms onto the dynamic epoch
+        lrefs = rt.local_refs(rt.bind(d2, ind));
+        d = d2;
+        h = h2;
+      }
+      g.advance();
+    }
+    g.quiesce();
+
+    // Collect x in global order.
+    struct IdVal {
+      GlobalIndex id;
+      double v;
+    };
+    std::vector<IdVal> mine(x.globals().size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = {x.globals()[i], x[static_cast<GlobalIndex>(i)]};
+    const std::vector<IdVal> all = c.allgatherv<IdVal>(mine);
+    if (c.rank() == 0) {
+      out.x.assign(static_cast<std::size_t>(kGraphN), 0.0);
+      for (const IdVal& iv : all)
+        out.x[static_cast<std::size_t>(iv.id)] = iv.v;
+    }
+  });
+  return out;
+}
+
+TEST(DynamicEpochStepGraph, BirthDeathMidPipelineStaysBitwiseEquivalent) {
+  const auto pipelined = run_dynamic_graph_cycle(true, /*reuse=*/true, 8);
+  const auto eager = run_dynamic_graph_cycle(false, /*reuse=*/true, 8);
+  EXPECT_TRUE(
+      ts::spans_equal(pipelined.x, eager.x, "x (pipelined vs eager)"));
+
+  // The seeded dynamic successor behaves exactly like a cold rebuild
+  // under the graph too.
+  const auto cold = run_dynamic_graph_cycle(true, /*reuse=*/false, 8);
+  EXPECT_TRUE(ts::spans_equal(pipelined.x, cold.x, "x (seeded vs cold)"));
+}
+
+// ---- compact() across insert/delete epochs ---------------------------------
+
+// Retired birth/death deltas are freed by compact(), and the accounting is
+// exact: registry_bytes() before == registry_bytes() after + released.
+// (Regression guard for the capacity-retaining-clear leak class: a
+// container cleared but not deallocated would leave the two sides apart.)
+TEST(DynamicEpochCompact, CompactFreesRetiredBirthDeathDeltasExactly) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    const std::vector<int> map{0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+    DistHandle e0 = rt.irregular(map);
+    lang::IndirectionArray ind;
+    if (comm.rank() == 0) ind.assign({0, 3, 7, 8});
+    (void)rt.inspect(rt.bind(e0, ind));
+
+    // e0 -insert-> e1 -delete-> e2 -insert-> e3, retiring as we go.
+    const std::vector<int> owners1{0, 1, 1};
+    const Runtime::InsertResult i1 =
+        rt.insert_elements(e0, std::span<const int>{owners1});
+    rt.retire(e0);
+    const std::vector<GlobalIndex> dead{2, 12};  // one interior, one trailing
+    const DistHandle e2 =
+        rt.delete_elements(i1.dist, std::span<const GlobalIndex>{dead});
+    rt.retire(i1.dist);
+    const std::vector<int> owners2{1, 0};
+    const Runtime::InsertResult i3 =
+        rt.insert_elements(e2, std::span<const int>{owners2});
+    rt.retire(e2);
+    const DistHandle e3 = i3.dist;
+
+    const std::size_t before = rt.registry_bytes();
+    const std::size_t released = rt.compact();
+    EXPECT_GT(released, 0u);
+    EXPECT_EQ(rt.registry_bytes(), before - released);  // exact accounting
+
+    // A second compact has nothing retired left to free.
+    EXPECT_EQ(rt.compact(), 0u);
+
+    // The live dynamic epoch keeps working after its ancestors' state
+    // (including their birth/death deltas) was freed.
+    const ScheduleHandle s = rt.inspect(rt.bind(e3, ind));
+    std::vector<double> x(static_cast<std::size_t>(rt.extent(s)), -1.0);
+    const std::vector<GlobalIndex> mine = rt.owned_globals(e3);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      x[i] = static_cast<double>(10 * mine[i]);
+    rt.gather<double>(s, std::span<double>{x});
+    const auto refs = rt.local_refs(rt.bind(e3, ind));
+    const auto vals = ind.values();
+    for (std::size_t k = 0; k < refs.size(); ++k)
+      EXPECT_EQ(x[static_cast<std::size_t>(refs[k])],
+                static_cast<double>(10 * vals[k]));
+
+    // Further dynamic successors seed from the (live) registry.
+    const std::vector<GlobalIndex> dead2{5};
+    const DistHandle e4 =
+        rt.delete_elements(e3, std::span<const GlobalIndex>{dead2});
+    ASSERT_NE(rt.owner_delta(e4), nullptr);
+    EXPECT_EQ(rt.owner_delta(e4)->deleted_count(), 1);
+  });
+}
+
+// registry_bytes() counts live lineage deltas too, so a chain of dynamic
+// epochs held without retirement shows monotone growth that compact()
+// cannot touch — and releasing the chain frees it all.
+TEST(DynamicEpochCompact, LiveDeltasAreCountedAndFreedOnRetire) {
+  Machine m(2);
+  m.run([](Comm& comm) {
+    Runtime rt(comm);
+    std::vector<int> map(20);
+    for (std::size_t g = 0; g < map.size(); ++g)
+      map[g] = static_cast<int>(g % 2);
+    DistHandle e0 = rt.irregular(map);
+
+    const std::size_t base = rt.registry_bytes();
+    const std::vector<GlobalIndex> dead{4, 9};
+    const DistHandle e1 =
+        rt.delete_elements(e0, std::span<const GlobalIndex>{dead});
+    EXPECT_GT(rt.registry_bytes(), base);  // table + delta of the successor
+    EXPECT_EQ(rt.compact(), 0u);           // nothing retired yet
+
+    rt.retire(e0);
+    const std::size_t before = rt.registry_bytes();
+    const std::size_t released = rt.compact();
+    EXPECT_GT(released, 0u);
+    EXPECT_EQ(rt.registry_bytes(), before - released);
+    EXPECT_TRUE(rt.valid(e1));
+  });
+}
+
+// ---- the randomized suite --------------------------------------------------
+
+TEST(DynamicEpoch, RandomizedBirthDeathEquivalence) {
+  const std::uint64_t seeds =
+      ts::seed_count(100, "CHAOS_DYNAMIC_SEEDS");
+  const std::uint64_t base =
+      ts::env_seed_u64("CHAOS_DYNAMIC_SEED_BASE", 1);
+  for (std::uint64_t s = base; s < base + seeds; ++s) {
+    SCOPED_TRACE("seed=" + std::to_string(s));
+    run_dynamic_scenario(s, /*paged=*/false);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(DynamicEpoch, RandomizedBirthDeathEquivalencePaged) {
+  // Paged tables route translations and patch counting through query/reply
+  // exchanges; a smaller sweep keeps the suite fast while covering the
+  // communicating path of dynamic patching (fresh page on size change).
+  const std::uint64_t seeds =
+      ts::seed_count(12, "CHAOS_DYNAMIC_PAGED_SEEDS");
+  const std::uint64_t base =
+      ts::env_seed_u64("CHAOS_DYNAMIC_SEED_BASE", 1);
+  for (std::uint64_t s = base; s < base + seeds; ++s) {
+    SCOPED_TRACE("paged seed=" + std::to_string(s));
+    run_dynamic_scenario(s, /*paged=*/true);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace chaos

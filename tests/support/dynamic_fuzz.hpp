@@ -1,0 +1,195 @@
+// Seeded generator of interleaved birth/death/repartition event streams
+// for the dynamic index-space equivalence harness (the PR-3/PR-6 suite
+// idiom extended to universes that grow and shrink).
+//
+// The generator carries a replicated model of the holey owner map and
+// applies every event to it with exactly the semantics Runtime documents:
+//
+//   insert       new elements fill the lowest tombstone holes first (in
+//                ascending hole order), then append past the end
+//   delete       live ids become tombstones (-1); a trailing tombstone
+//                run truncates, shrinking the universe
+//   repartition  live elements get new owners, holes stay holes
+//
+// so a test can drive hot (insert_elements / delete_elements /
+// repartition successors) and cold (reuse disabled) Runtime arms from the
+// same stream and check the runtime's tables, assigned ids, and truncation
+// against the model — then check the two arms against each other.
+//
+// Every decision comes from the one seeded Rng, so any rank (and both
+// arms) replaying the same seed sees the identical stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/translation_table.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace chaos::testing_support {
+
+using core::GlobalIndex;
+
+struct DynamicEvent {
+  enum class Kind { kInsert, kDelete, kRepartition };
+  Kind kind = Kind::kRepartition;
+  /// kInsert: owner of each newborn (replicated-argument collective).
+  std::vector<int> owners;
+  /// kInsert: the ids the model assigned (holes first, then appended) —
+  /// what Runtime::insert_elements must return.
+  std::vector<GlobalIndex> ids;
+  /// kDelete: the (live) ids to tombstone.
+  std::vector<GlobalIndex> dead;
+  /// kRepartition: the full successor map, holes (-1) preserved.
+  std::vector<int> new_map;
+};
+
+class DynamicFuzz {
+ public:
+  /// Start from a universe of `n0` elements with random owners over
+  /// `nprocs` ranks. Live population is kept in [min_live, max_total].
+  DynamicFuzz(std::uint64_t seed, int nprocs, GlobalIndex n0,
+              GlobalIndex min_live = 12, GlobalIndex max_total = 320)
+      : rng_(seed * 0x9e3779b97f4a7c15ULL + 1),
+        nprocs_(nprocs),
+        min_live_(min_live),
+        max_total_(max_total) {
+    map_.resize(static_cast<std::size_t>(n0));
+    for (int& p : map_) p = static_cast<int>(rng_.below(nprocs_));
+  }
+
+  /// The model's current holey owner map (what the runtime's replicated
+  /// table must agree with, element for element).
+  const std::vector<int>& map() const { return map_; }
+
+  GlobalIndex live_count() const {
+    GlobalIndex n = 0;
+    for (int p : map_)
+      if (p >= 0) ++n;
+    return n;
+  }
+
+  std::vector<GlobalIndex> live_ids() const {
+    std::vector<GlobalIndex> out;
+    for (std::size_t g = 0; g < map_.size(); ++g)
+      if (map_[g] >= 0) out.push_back(static_cast<GlobalIndex>(g));
+    return out;
+  }
+
+  /// Generate the next event and apply it to the model.
+  DynamicEvent next() {
+    const double u = rng_.uniform();
+    const GlobalIndex live = live_count();
+    // Weighted mix, clamped by the population bounds so long streams
+    // neither die out nor blow up.
+    if ((u < 0.35 && live < max_total_) || live <= min_live_)
+      return apply(make_insert());
+    if (u < 0.6 && live > min_live_) return apply(make_delete());
+    return apply(make_repartition());
+  }
+
+ private:
+  DynamicEvent make_insert() {
+    DynamicEvent e;
+    e.kind = DynamicEvent::Kind::kInsert;
+    e.owners.resize(1 + rng_.below(8));
+    for (int& p : e.owners) p = static_cast<int>(rng_.below(nprocs_));
+    return e;
+  }
+
+  DynamicEvent make_delete() {
+    DynamicEvent e;
+    e.kind = DynamicEvent::Kind::kDelete;
+    const std::vector<GlobalIndex> live = live_ids();
+    const auto budget = static_cast<std::uint64_t>(
+        std::max<GlobalIndex>(1, (live_count() - min_live_) / 2));
+    std::size_t want = static_cast<std::size_t>(
+        1 + rng_.below(std::min<std::uint64_t>(6, budget)));
+    // Sometimes aim at the tail so the truncation path actually fires.
+    if (rng_.uniform() < 0.3) {
+      for (std::size_t k = live.size() - std::min(want, live.size());
+           k < live.size(); ++k)
+        e.dead.push_back(live[k]);
+    } else {
+      for (std::size_t k = 0; k < want; ++k) {
+        const GlobalIndex g =
+            live[static_cast<std::size_t>(rng_.below(live.size()))];
+        if (std::find(e.dead.begin(), e.dead.end(), g) == e.dead.end())
+          e.dead.push_back(g);
+      }
+      std::sort(e.dead.begin(), e.dead.end());
+    }
+    return e;
+  }
+
+  DynamicEvent make_repartition() {
+    DynamicEvent e;
+    e.kind = DynamicEvent::Kind::kRepartition;
+    e.new_map = map_;
+    const double mode = rng_.uniform();
+    if (mode < 0.4) {
+      // Tail shift over live positions (boundary-style adaptation).
+      const std::vector<GlobalIndex> live = live_ids();
+      const std::size_t cut =
+          live.size() -
+          static_cast<std::size_t>(rng_.below(live.size() / 4 + 1));
+      for (std::size_t k = cut; k < live.size(); ++k)
+        e.new_map[static_cast<std::size_t>(live[k])] =
+            static_cast<int>(rng_.below(nprocs_));
+    } else if (mode < 0.7) {
+      // Pair decant.
+      const int a = static_cast<int>(rng_.below(nprocs_));
+      const int b = static_cast<int>(rng_.below(nprocs_));
+      for (int& p : e.new_map)
+        if (p == a && rng_.uniform() < 0.3) p = b;
+    } else {
+      // Uniform scatter.
+      for (int& p : e.new_map)
+        if (p >= 0 && rng_.uniform() < 0.15)
+          p = static_cast<int>(rng_.below(nprocs_));
+    }
+    return e;
+  }
+
+  DynamicEvent apply(DynamicEvent e) {
+    switch (e.kind) {
+      case DynamicEvent::Kind::kInsert: {
+        std::size_t next_hole = 0;
+        for (int owner : e.owners) {
+          while (next_hole < map_.size() && map_[next_hole] >= 0) ++next_hole;
+          if (next_hole < map_.size()) {
+            map_[next_hole] = owner;
+            e.ids.push_back(static_cast<GlobalIndex>(next_hole));
+          } else {
+            map_.push_back(owner);
+            e.ids.push_back(static_cast<GlobalIndex>(map_.size() - 1));
+          }
+        }
+        break;
+      }
+      case DynamicEvent::Kind::kDelete: {
+        for (GlobalIndex g : e.dead) {
+          CHAOS_CHECK(map_[static_cast<std::size_t>(g)] >= 0,
+                      "fuzz model: deleting a dead element");
+          map_[static_cast<std::size_t>(g)] = -1;
+        }
+        while (!map_.empty() && map_.back() < 0) map_.pop_back();
+        break;
+      }
+      case DynamicEvent::Kind::kRepartition:
+        map_ = e.new_map;
+        break;
+    }
+    return e;
+  }
+
+  Rng rng_;
+  std::uint64_t nprocs_;
+  GlobalIndex min_live_;
+  GlobalIndex max_total_;
+  std::vector<int> map_;  ///< holey replicated owner map (the model)
+};
+
+}  // namespace chaos::testing_support

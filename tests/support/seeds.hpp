@@ -1,0 +1,36 @@
+// One seed-count knob for every randomized suite: `--seeds=N` on the test
+// binary's command line wins (the same flag bench/args.hpp parses for the
+// bench harnesses), then a suite-specific environment variable (the
+// historical per-suite override CI still sets), then the suite default.
+//
+// GTest's main() does not hand argv to test bodies, so the command line is
+// read from /proc/self/cmdline — the simulator already targets Linux.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace chaos::testing_support {
+
+inline std::uint64_t env_seed_u64(const char* name, std::uint64_t fallback) {
+  const char* v = name == nullptr ? nullptr : std::getenv(name);
+  return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+/// `--seeds=N` from this process's command line, or nullopt-ish fallback
+/// chain: env var `env_name` (when non-null), then `fallback`.
+inline std::uint64_t seed_count(std::uint64_t fallback,
+                                const char* env_name = nullptr) {
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  if (cmdline) {
+    std::string arg;
+    while (std::getline(cmdline, arg, '\0'))
+      if (arg.rfind("--seeds=", 0) == 0)
+        return std::strtoull(arg.c_str() + 8, nullptr, 10);
+  }
+  return env_seed_u64(env_name, fallback);
+}
+
+}  // namespace chaos::testing_support
