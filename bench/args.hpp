@@ -23,6 +23,12 @@
 //                         (tests/support/seeds.hpp), so one flag drives
 //                         both benches and suites instead of per-suite
 //                         environment variables
+//   --skew=X              hot-spot compute skew factor for benches that
+//                         inject imbalance (table10 arrival chunks,
+//                         table12's rotating hot band); default 4.0
+//   --json=PATH           append one JSON-lines record per measured
+//                         configuration (bench_common.hpp emit_json) —
+//                         honored by table1/table5/table10/table11/table12
 //
 // Unknown values raise chaos::Error listing the accepted spellings;
 // unknown flags are ignored (benches historically tolerate extra argv).

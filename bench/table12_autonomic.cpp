@@ -1,0 +1,468 @@
+// Table 12 (beyond the paper) — autonomic load balancing driven by runtime
+// telemetry (src/balance/).
+//
+// The paper leaves the *when* of repartitioning to the user (§2); this
+// table closes the loop: a balance::Policy watches windowed per-rank load
+// telemetry and fires either the incremental diffusion partitioner
+// (partition/diffusion.hpp — donor sheds its highest global ids to
+// append-stable recipients, keeping seeded schedules on the patched path)
+// or a full geometric rebuild, with zero application tuning.
+//
+// Synthetic workload: a resident halo cycle over N elements, split into
+// four quarter-confined loops (each loop's references stay inside its
+// quarter of the id space, so a diffusion that moves elements of one
+// quarter leaves the other three loops home-stable machine-wide — the
+// patched-path gate). Load drift is a rotating hot band: after a warm-up,
+// a band of N/(2P) elements costs `--skew` times the base work while the
+// off-band work is scaled down so TOTAL work per step is constant — a
+// perfectly balanced partition always costs the same ms/step, so recovery
+// can be measured against the pre-drift baseline. The band jumps one
+// band-width every drift period and stays aligned inside one original
+// block rank, so the never-rebalance arm concentrates the whole band on a
+// single rank.
+//
+// Arms (same physics, same arithmetic per element — element values are
+// independent of ownership, so every arm is bitwise comparable):
+//   eager-none    eager graph, never rebalance  (the bitwise oracle)
+//   none          pipelined graph, never rebalance
+//   policy        pipelined graph + Runtime balance service
+//   policy-eager  eager graph + service         (bitwise gate arm)
+//
+// Gates (exit nonzero on failure):
+//   (a) all arms bitwise identical to the eager oracle — rebalancing is
+//       value-preserving on equivalence-safe configs
+//   (b) the policy fired at least one rebalance, including a diffusion
+//   (c) diffusion rebalances keep >= 50% of the seeded loop schedules on
+//       the patched path (asserted via the per-report registry stats)
+//   (d) the policy arm's best late window is within 15% of its pre-drift
+//       baseline (recovers near-flat)
+//   (e) the never-rebalance arm degrades >= 2x over its baseline
+//   (f) post-rebalance ms/step beats the no-balance arm under drift
+//
+// A second table drives the DSMC app with density drift injected through
+// particle birth/death (dynamic population churn on top of the +x flow
+// erosion): the autonomic arm must fire, beat the never-remap arm, and
+// stay bitwise identical to it (remap cadence never changes DSMC physics).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/dsmc/parallel.hpp"
+#include "balance/policy.hpp"
+#include "balance/service.hpp"
+#include "bench_common.hpp"
+#include "lang/array.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace chaos;
+using namespace chaos::bench;
+using core::GlobalIndex;
+
+struct Workload {
+  int ranks = 8;
+  GlobalIndex n = 1024;
+  int window = 8;        ///< telemetry + measurement window, steps
+  int warm_windows = 2;  ///< pre-drift windows (uniform weights)
+  int drift_windows = 12;
+  int drift_every = 32;  ///< steps between band jumps
+  double skew = 4.0;     ///< band element work multiplier
+  double elem_work = 160.0;
+
+  int total_steps() const { return (warm_windows + drift_windows) * window; }
+  int warm_steps() const { return warm_windows * window; }
+  GlobalIndex band() const { return n / (2 * static_cast<GlobalIndex>(ranks)); }
+
+  /// Per-element work weight at `step`. During drift the off-band weight
+  /// compensates the band so total work per step stays n * elem_work. The
+  /// band walks *downward* through the id space: the hot rank then owns
+  /// high global ids and sheds them to recipients whose own ids sit below
+  /// — the append-stable direction where diffusion preserves every
+  /// surviving home and the seeded registry can patch instead of rebuild.
+  double weight(GlobalIndex g, int step) const {
+    if (step < warm_steps()) return 1.0;
+    const GlobalIndex b = band();
+    const GlobalIndex jumps =
+        static_cast<GlobalIndex>((step - warm_steps()) / drift_every);
+    const GlobalIndex pos = (n - (jumps + 1) * b % n) % n;
+    const bool hot = (g - pos + n) % n < b;
+    if (hot) return skew;
+    return (static_cast<double>(n) - static_cast<double>(b) * skew) /
+           static_cast<double>(n - b);
+  }
+};
+
+struct ArmOut {
+  std::vector<double> x;          ///< final values in global-id order
+  std::vector<double> window_ms;  ///< per-window makespan, ms
+  std::vector<balance::Report> reports;
+  int diffusions = 0;
+  int rebuilds = 0;
+  double execution = 0;
+};
+
+ArmOut run_arm(const Workload& w, bool pipelined, bool autonomic) {
+  ArmOut out;
+  sim::Machine m(w.ranks);
+  m.run([&](sim::Comm& c) {
+    Runtime rt(c);
+    const DistHandle d = rt.block(w.n);
+    Array<double> x(rt, d, "x"), y(rt, d, "y");
+    x.fill([](GlobalIndex g) { return 1.0 + 0.25 * static_cast<double>(g); });
+
+    // Four quarter-confined loops: rows/refs of the owned elements that
+    // fall in each quarter, rebuilt on every distribution epoch.
+    const GlobalIndex quarter = w.n / 4;
+    struct Quarter {
+      std::vector<GlobalIndex> rows;  ///< owned offsets in this quarter
+      std::vector<GlobalIndex> gids;  ///< their global ids
+      lang::IndirectionArray ind;     ///< two in-quarter neighbors per row
+      LoopHandle loop;
+      ScheduleHandle sched;
+    };
+    std::vector<Quarter> qs(4);
+    const auto rebuild_quarters = [&](DistHandle h) {
+      const std::vector<GlobalIndex> globals = rt.owned_globals(h);
+      for (int q = 0; q < 4; ++q) {
+        Quarter& Q = qs[q];
+        Q.rows.clear();
+        Q.gids.clear();
+        std::vector<GlobalIndex> refs;
+        const GlobalIndex lo = static_cast<GlobalIndex>(q) * quarter;
+        for (std::size_t i = 0; i < globals.size(); ++i) {
+          const GlobalIndex g = globals[i];
+          if (g / quarter != q) continue;
+          Q.rows.push_back(static_cast<GlobalIndex>(i));
+          Q.gids.push_back(g);
+          refs.push_back(lo + (g - lo + 1) % quarter);
+          refs.push_back(lo + (g - lo + 7) % quarter);
+        }
+        // Keep the modification record untouched for quarters the
+        // rebalance did not reshape: home stability means rows and refs
+        // come out identical, and an unchanged record is what lets the
+        // seeded registry keep the loop on the patched path.
+        const std::span<const GlobalIndex> old_refs = Q.ind.values();
+        if (!std::equal(refs.begin(), refs.end(), old_refs.begin(),
+                        old_refs.end()))
+          Q.ind.assign(std::move(refs));
+        Q.loop = rt.bind(h, Q.ind);
+        Q.sched = rt.inspect(Q.loop);
+      }
+    };
+    rebuild_quarters(d);
+
+    int iter = 0;
+    StepGraph g(rt);
+    g.set_pipelining(pipelined);
+    for (int q = 0; q < 4; ++q) {
+      g.step("halo" + std::to_string(q))
+          .bind(in(x).via(qs[static_cast<std::size_t>(q)].sched), update(y))
+          .compute([&, q] {
+            const Quarter& Q = qs[static_cast<std::size_t>(q)];
+            const std::span<const GlobalIndex> lr = rt.local_refs(Q.loop);
+            double work = 0;
+            for (std::size_t k = 0; k < Q.rows.size(); ++k) {
+              const GlobalIndex i = Q.rows[k];
+              y[i] = 0.5 * x[i] + 0.25 * (x[lr[2 * k]] + x[lr[2 * k + 1]]) +
+                     0.0625;
+              work += w.elem_work * w.weight(Q.gids[k], iter);
+            }
+            c.charge_work(work);
+          });
+    }
+    g.step("advance").bind(use(y), update(x)).compute([&] {
+      for (GlobalIndex i = 0; i < x.owned(); ++i) x[i] = y[i];
+      c.charge_work(2.0 * static_cast<double>(x.owned()));
+      ++iter;
+    });
+
+    if (autonomic) {
+      balance::Binding b;
+      b.dist = d;
+      b.manage(x);
+      b.manage(y);
+      b.points = [&] {
+        std::vector<part::Point3> pts;
+        for (GlobalIndex gid : rt.owned_globals(rt.balance_dist()))
+          pts.push_back({static_cast<double>(gid), 0.0, 0.0});
+        return pts;
+      };
+      b.weights = [&] {
+        std::vector<double> ws;
+        for (GlobalIndex gid : rt.owned_globals(rt.balance_dist()))
+          ws.push_back(w.weight(gid, iter));
+        return ws;
+      };
+      b.remap = [&](DistHandle, DistHandle to) {
+        std::vector<std::pair<ScheduleHandle, ScheduleHandle>> pairs;
+        std::vector<ScheduleHandle> old;
+        for (const Quarter& Q : qs) old.push_back(Q.sched);
+        rebuild_quarters(to);
+        for (std::size_t q = 0; q < 4; ++q)
+          pairs.emplace_back(old[q], qs[q].sched);
+        return pairs;
+      };
+      balance::PolicyConfig pc;
+      pc.window_steps = w.window;
+      pc.rebuild_balance = 3.0;  // the rotating band is moderate drift
+      // Imbalance only persists until the band jumps again: savings past
+      // one drift period never materialize, so the cost gate must weigh
+      // the measured rebalance cost against that horizon, not the default.
+      pc.payoff_horizon_steps = w.drift_every;
+      rt.set_balance_policy(std::make_unique<balance::Policy>(pc),
+                            std::move(b));
+    }
+
+    const int total = w.total_steps();
+    std::vector<double> wins;
+    c.barrier();
+    double tprev = c.now();
+    for (int s = 0; s < total; ++s) {
+      g.advance(/*arm_next_iteration=*/pipelined && s + 1 < total);
+      if (autonomic) rt.balance_step(g);
+      if ((s + 1) % w.window == 0) {
+        c.barrier();
+        const double t = c.now();
+        wins.push_back(1000.0 * (t - tprev));
+        tprev = t;
+      }
+    }
+    g.quiesce();
+
+    // Final owned values in global-id order (bitwise gate input).
+    const DistHandle cur = autonomic ? rt.balance_dist() : d;
+    const std::vector<GlobalIndex> gl = rt.owned_globals(cur);
+    struct IdVal {
+      GlobalIndex id;
+      double v;
+    };
+    std::vector<IdVal> mine(gl.size());
+    for (std::size_t i = 0; i < gl.size(); ++i)
+      mine[i] = IdVal{gl[i], x[static_cast<GlobalIndex>(i)]};
+    const std::vector<IdVal> all = c.allgatherv<IdVal>(mine);
+    if (c.rank() == 0) {
+      out.x.assign(static_cast<std::size_t>(w.n), 0.0);
+      for (const IdVal& iv : all) out.x[static_cast<std::size_t>(iv.id)] = iv.v;
+      out.window_ms = wins;
+      out.reports = rt.balance_reports();
+      for (const balance::Report& r : out.reports) {
+        if (r.action == balance::Action::kDiffuse) ++out.diffusions;
+        if (r.action == balance::Action::kRebuild) ++out.rebuilds;
+      }
+    }
+  });
+  out.execution = m.execution_time();
+  return out;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+double mean_of(const std::vector<double>& v, std::size_t from,
+               std::size_t to) {
+  double s = 0;
+  for (std::size_t i = from; i < to; ++i) s += v[i];
+  return to > from ? s / static_cast<double>(to - from) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+
+  Workload w;
+  w.skew = opt.skew;
+  if (opt.quick) {
+    w.ranks = 4;
+    w.n = 256;
+  }
+
+  std::cerr << "table12: rotating hot band, P=" << w.ranks << " N=" << w.n
+            << " window=" << w.window << " skew=" << w.skew << "\n";
+  const ArmOut eager_none = run_arm(w, /*pipelined=*/false, false);
+  const ArmOut none = run_arm(w, /*pipelined=*/true, false);
+  const ArmOut policy = run_arm(w, /*pipelined=*/true, true);
+  const ArmOut policy_eager = run_arm(w, /*pipelined=*/false, true);
+
+  const auto nwin = static_cast<std::size_t>(w.warm_windows + w.drift_windows);
+  const std::size_t late_from = nwin - nwin / 3;  // converged tail
+  const auto baseline = [&](const ArmOut& a) {
+    return a.window_ms[static_cast<std::size_t>(w.warm_windows) - 1];
+  };
+  const auto late_mean = [&](const ArmOut& a) {
+    return mean_of(a.window_ms, late_from, nwin);
+  };
+  const auto late_best = [&](const ArmOut& a) {
+    return *std::min_element(a.window_ms.begin() +
+                                 static_cast<std::ptrdiff_t>(late_from),
+                             a.window_ms.end());
+  };
+
+  Table t("Table 12: Autonomic load balancing under a rotating hot band "
+          "(modeled ms / window)");
+  t.header({"Arm", "Baseline", "Late mean", "Late best", "Ratio",
+            "Diffuse", "Rebuild"});
+  const auto arm_row = [&](const char* name, const ArmOut& a) {
+    t.row({name, Table::num(baseline(a), 3), Table::num(late_mean(a), 3),
+           Table::num(late_best(a), 3),
+           Table::num(late_mean(a) / baseline(a), 2),
+           std::to_string(a.diffusions), std::to_string(a.rebuilds)});
+  };
+  arm_row("eager-none", eager_none);
+  arm_row("none", none);
+  arm_row("policy", policy);
+  arm_row("policy-eager", policy_eager);
+  t.print();
+
+  // The balance reports: what fired, why, and what it bought.
+  Table rt_tab("Policy-arm balance reports");
+  rt_tab.header({"Step", "Action", "LB before", "LB after", "Pred s/step",
+                 "Real s/step", "Cost s", "Moved", "Patched", "Rebuilt",
+                 "Carried"});
+  for (const balance::Report& r : policy.reports)
+    rt_tab.row({std::to_string(r.step), balance::action_name(r.action),
+                Table::num(r.balance_before, 2),
+                Table::num(r.balance_after, 2),
+                Table::num(r.predicted_savings_per_step_s, 4),
+                Table::num(r.realized_savings_per_step_s, 4),
+                Table::num(r.cost_s, 4), std::to_string(r.moved),
+                std::to_string(r.patched), std::to_string(r.rebuilt),
+                std::to_string(r.carried)});
+  rt_tab.print();
+  for (const balance::Report& r : policy.reports)
+    std::cout << "  step " << r.step << ": " << r.reason << "\n";
+
+  for (const auto& [name, a] :
+       std::vector<std::pair<const char*, const ArmOut*>>{
+           {"eager_none", &eager_none},
+           {"none", &none},
+           {"policy", &policy},
+           {"policy_eager", &policy_eager}}) {
+    emit_json(opt.json, "table12_autonomic", name,
+              late_mean(*a) / static_cast<double>(w.window),
+              {{"baseline_ms", baseline(*a)},
+               {"late_mean_ms", late_mean(*a)},
+               {"late_best_ms", late_best(*a)},
+               {"diffusions", static_cast<double>(a->diffusions)},
+               {"rebuilds", static_cast<double>(a->rebuilds)},
+               {"skew", w.skew}});
+  }
+
+  // ---- DSMC density drift via birth/death -----------------------------
+  dsmc::ParallelDsmcConfig dc;
+  dc.params.nx = opt.quick ? 16 : 32;
+  dc.params.ny = opt.quick ? 16 : 32;
+  dc.params.n_particles = opt.quick ? 4000 : 12000;
+  dc.params.nonuniform_init = true;  // density ramp the +x drift erodes
+  dc.params.flow_bias = 0.8;
+  dc.params.drift = 0.5;
+  dc.params.births_per_step = dc.params.n_particles / 100;
+  dc.params.death_rate = 0.01;
+  dc.steps = opt.quick ? 24 : 48;
+  dc.collect_state = true;
+  opt.apply(dc);
+  const int dsmc_ranks = opt.quick ? 4 : 8;
+
+  sim::Machine dm_never(dsmc_ranks), dm_auto(dsmc_ranks);
+  dc.remap_every = 0;
+  const dsmc::ParallelDsmcResult dr_never = run_parallel_dsmc(dm_never, dc);
+  dc.autonomic = true;
+  const dsmc::ParallelDsmcResult dr_auto = run_parallel_dsmc(dm_auto, dc);
+
+  bool dsmc_bitwise = dr_never.collisions == dr_auto.collisions &&
+                      dr_never.particles.size() == dr_auto.particles.size();
+  if (dsmc_bitwise) {
+    for (std::size_t i = 0; i < dr_never.particles.size(); ++i) {
+      const auto& a = dr_never.particles[i];
+      const auto& b = dr_auto.particles[i];
+      if (a.id != b.id || a.x != b.x || a.y != b.y || a.z != b.z ||
+          a.vx != b.vx || a.vy != b.vy || a.vz != b.vz) {
+        dsmc_bitwise = false;
+        break;
+      }
+    }
+  }
+
+  Table dt("DSMC with birth/death density drift");
+  dt.header({"Arm", "Exec s", "LB", "Diffuse", "Rebuild", "Equivalence"});
+  dt.row({"never-remap", Table::num(dr_never.execution_time, 3),
+          Table::num(dr_never.load_balance, 2), "0", "0", "oracle"});
+  dt.row({"autonomic", Table::num(dr_auto.execution_time, 3),
+          Table::num(dr_auto.load_balance, 2),
+          std::to_string(dr_auto.diffusions),
+          std::to_string(dr_auto.rebuilds),
+          dsmc_bitwise ? "bitwise" : "MISMATCH"});
+  dt.print();
+
+  emit_json(opt.json, "table12_autonomic", "dsmc_never",
+            1000.0 * dr_never.execution_time / dc.steps,
+            {{"load_balance", dr_never.load_balance}});
+  emit_json(opt.json, "table12_autonomic", "dsmc_autonomic",
+            1000.0 * dr_auto.execution_time / dc.steps,
+            {{"load_balance", dr_auto.load_balance},
+             {"diffusions", static_cast<double>(dr_auto.diffusions)},
+             {"rebuilds", static_cast<double>(dr_auto.rebuilds)},
+             {"bitwise", dsmc_bitwise ? 1.0 : 0.0}});
+
+  // ---- gates ----------------------------------------------------------
+  int failures = 0;
+  const auto gate = [&](bool ok, const std::string& msg) {
+    if (!ok) {
+      std::cerr << "GATE FAILED: " << msg << "\n";
+      ++failures;
+    }
+  };
+  gate(bitwise_equal(none.x, eager_none.x),
+       "pipelined no-balance arm diverged from the eager oracle");
+  gate(bitwise_equal(policy.x, eager_none.x),
+       "policy arm diverged from the eager no-balance oracle");
+  gate(bitwise_equal(policy_eager.x, eager_none.x),
+       "policy-eager arm diverged from the eager no-balance oracle");
+  gate(policy.diffusions >= 1,
+       "the policy never fired a diffusion rebalance");
+  std::uint64_t patched = 0, rebuilt = 0;
+  for (const balance::Report& r : policy.reports)
+    if (r.action == balance::Action::kDiffuse) {
+      patched += r.patched + r.carried;
+      rebuilt += r.rebuilt;
+    }
+  gate(patched >= 1 && patched >= rebuilt,
+       "diffusion rebalances kept fewer than half the seeded schedules on "
+       "the patched/carried path (patched+carried=" +
+           std::to_string(patched) + " rebuilt=" + std::to_string(rebuilt) +
+           ")");
+  gate(late_best(policy) <= 1.15 * baseline(policy),
+       "policy arm did not recover within 15% of its pre-drift baseline (" +
+           Table::num(late_best(policy), 3) + "ms vs " +
+           Table::num(baseline(policy), 3) + "ms)");
+  gate(late_mean(none) >= 2.0 * baseline(none),
+       "never-rebalance arm degraded less than 2x under drift (" +
+           Table::num(late_mean(none), 3) + "ms vs " +
+           Table::num(baseline(none), 3) + "ms) — the drift injection is "
+           "broken");
+  gate(late_mean(policy) < late_mean(none),
+       "post-rebalance ms/step does not beat the no-balance arm");
+  gate(dr_auto.rebalances >= 1, "DSMC autonomic arm never rebalanced");
+  gate(dsmc_bitwise,
+       "DSMC autonomic arm diverged from the never-remap oracle");
+  gate(dr_auto.execution_time < dr_never.execution_time,
+       "DSMC autonomic arm does not beat never-remap under density drift");
+
+  if (failures == 0)
+    std::cout << "table12: all gates passed (bitwise oracle, diffusion "
+                 "fired, patched path held, near-flat recovery)\n";
+  return failures == 0 ? 0 : 1;
+}

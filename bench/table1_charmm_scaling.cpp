@@ -34,6 +34,13 @@ int main(int argc, char** argv) {
     comp.push_back(r.computation);
     comm.push_back(r.communication);
     lb.push_back(r.load_balance);
+    emit_json(opt.json, "table1_charmm_scaling", "P=" + std::to_string(P),
+              r.execution * 1e3 / paper_steps,
+              {{"execution_s", r.execution},
+               {"computation_s", r.computation},
+               {"communication_s", r.communication},
+               {"load_balance", r.load_balance},
+               {"msgs_sent", static_cast<double>(r.msgs_sent)}});
   }
 
   Table t("Table 1: Performance of Parallel CHARMM (modeled iPSC/860 seconds)");

@@ -209,6 +209,12 @@ int main(int argc, char** argv) {
       sim::Machine machine(P);
       auto r = dsmc::run_parallel_dsmc(machine, cfg);
       measured.push_back(r.execution_time * scale);
+      emit_json(opt.json, "table5_remapping",
+                std::string(row.label) + " P=" + std::to_string(P),
+                r.execution_time * scale * 1e3 / paper_steps,
+                {{"execution_s", r.execution_time * scale},
+                 {"load_balance", r.load_balance},
+                 {"remap_every", static_cast<double>(row.remap_every)}});
     }
     if (!opt.quick) {
       auto paper = row.paper;
@@ -258,6 +264,13 @@ int main(int argc, char** argv) {
                  "x",
              Table::num(hot.bytes_per_event / 1024.0, 1),
              Table::num(hot.reused_fraction * 100, 0) + "%"});
+      emit_json(opt.json, "table5_remapping",
+                "reuse_stability=" + Table::num(stability * 100, 0),
+                hot.seconds_per_event * 1e3,
+                {{"cold_ms_per_event", cold.seconds_per_event * 1e3},
+                 {"patched_ms_per_event", hot.seconds_per_event * 1e3},
+                 {"bytes_per_event", hot.bytes_per_event},
+                 {"reused_fraction", hot.reused_fraction}});
     }
     r.print();
     std::cout << "\nThe patched arm re-derives only the owner delta: the\n"

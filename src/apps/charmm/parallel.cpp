@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "apps/charmm/forces.hpp"
+#include "balance/monitor.hpp"
+#include "partition/diffusion.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/step_graph.hpp"
 
@@ -80,9 +82,15 @@ class Driver {
     build_schedules(/*regen=*/false);
     if (use_graph() && !graph_) declare_graph();
 
+    if (cfg_.autonomic) {
+      policy_ = std::make_unique<balance::Policy>(cfg_.policy);
+      monitor_ = std::make_unique<balance::Monitor>(
+          comm_, policy_->config().window_steps);
+    }
+
     int repartitions = 0;
     for (int step = 0; step < cfg_.run.steps; ++step) {
-      const bool repartition_due = quiesces_at(step) &&
+      const bool repartition_due = !cfg_.autonomic && quiesces_at(step) &&
                                    cfg_.repartition_every > 0 &&
                                    step % cfg_.repartition_every == 0;
       const bool rebuild_due = quiesces_at(step) && !repartition_due;
@@ -106,6 +114,7 @@ class Driver {
       // (repartition / list rebuild) that would discard them.
       const int next = step + 1;
       executor_step(/*arm_next=*/next < cfg_.run.steps && !quiesces_at(next));
+      if (cfg_.autonomic) autonomic_tick();
     }
 
     // Drain the pipeline: trailing scatters (and hoisted next-iteration
@@ -116,6 +125,11 @@ class Driver {
     absorb_epoch_stats(dist_);
     report_reuse();
     report_step_stats();
+    if (comm_.rank() == 0) {
+      shared_.rebalances = diffusions_ + rebuilds_;
+      shared_.diffusions = diffusions_;
+      shared_.rebuilds = rebuilds_;
+    }
     if (cfg_.collect_state) collect_state();
   }
 
@@ -232,7 +246,11 @@ class Driver {
   /// redistributions move the list with its atoms (paper §5.3.1 flow);
   /// the initial distribution regenerates it instead (paper §4.1.1: "this
   /// regeneration was performed because atoms were redistributed").
-  void partition_and_remap(core::PartitionerKind kind, bool remap_list) {
+  /// A non-empty `forced_map` (replicated atom -> rank, e.g. from the
+  /// diffusion partitioner) is adopted directly as the successor epoch —
+  /// the autonomic diffusion arm; `kind` is then unused.
+  void partition_and_remap(core::PartitionerKind kind, bool remap_list,
+                           std::vector<int> forced_map = {}) {
     // A repartition invalidates in-flight pipelining for the affected
     // arrays: complete it before the epoch machinery starts. The graph
     // itself re-arms in build_schedules() via retarget().
@@ -240,6 +258,10 @@ class Driver {
     DistHandle new_dist;
     timed_with_overhead(
         &CharmmPhaseTimes::data_partition, kCompilerPartitionOverhead, [&] {
+          if (!forced_map.empty()) {
+            new_dist = rt_.repartition(dist_, std::move(forced_map));
+            return;
+          }
           // Weights: the per-atom computational load is dominated by the
           // non-bonded partner count (paper §4.1 Data Partitioning). Before
           // any list exists, a local-density estimate stands in.
@@ -435,13 +457,68 @@ class Driver {
           });
   }
 
+  /// One autonomic sample per simulation step. When the policy's window
+  /// closes hot, diffusion shifts whole atoms (highest global ids off the
+  /// hot rank, so surviving owners keep ascending-id prefixes and the
+  /// schedule registry can patch/carry instead of rebuild) and the
+  /// non-bonded list rows travel with their atoms; a rebuild runs the
+  /// configured partitioner on current positions/loads. Decisions are
+  /// computed from replicated windows — identical on every rank.
+  void autonomic_tick() {
+    using balance::Action;
+    monitor_->sample(nullptr, &rt_.engine());
+    if (!monitor_->window_full()) return;
+    const balance::Window w = monitor_->close();
+    Action a = policy_->decide(w);
+    if (a == Action::kNone) return;
+
+    const double t0 = comm_.now();
+    std::vector<int> forced;
+    if (a == Action::kDiffuse) {
+      // Replicated per-atom weights (the §4.1 partner-count model) give
+      // the mover exact bookkeeping; the rank-uniform fallback oscillates
+      // on skewed partner counts (partition/diffusion.hpp).
+      struct AtomWeight {
+        GlobalIndex id;
+        double w;
+      };
+      std::vector<AtomWeight> local(my_globals_.size());
+      for (std::size_t r = 0; r < my_globals_.size(); ++r) {
+        double wt = 1.0;
+        if (r + 1 < nb_.inblo.size())
+          wt = 2.0 + static_cast<double>(nb_.inblo[r + 1] - nb_.inblo[r]);
+        local[r] = {my_globals_[r], wt};
+      }
+      const auto& amap = rt_.dist(dist_).map();
+      std::vector<double> atom_w(amap.size(), 0.0);
+      for (const AtomWeight& aw : comm_.allgatherv<AtomWeight>(local))
+        atom_w[static_cast<std::size_t>(aw.id)] = aw.w;
+      part::DiffusionResult diff = part::diffuse_partition(
+          amap, w.load, policy_->config().target_balance, atom_w);
+      if (diff.moved == 0) {
+        a = Action::kRebuild;  // nothing diffusible: fall back to a rebuild
+      } else {
+        forced = std::move(diff.map);
+      }
+    }
+    partition_and_remap(cfg_.partitioner, /*remap_list=*/true,
+                        std::move(forced));
+    build_schedules(/*regen=*/false);
+    if (a == Action::kDiffuse)
+      ++diffusions_;
+    else
+      ++rebuilds_;
+    policy_->note_cost(comm_.now() - t0);
+  }
+
   /// True when simulation step `s` begins with a pipeline quiesce: a
   /// periodic repartition or a non-bonded list rebuild. The single source
   /// of the cadence — both the per-step dispatch and the graph's
   /// next-iteration arm prediction derive from it.
   bool quiesces_at(int s) const {
     if (s <= 0) return false;
-    return (cfg_.repartition_every > 0 && s % cfg_.repartition_every == 0) ||
+    return (!cfg_.autonomic && cfg_.repartition_every > 0 &&
+            s % cfg_.repartition_every == 0) ||
            (s % cfg_.run.nb_rebuild_every == 0);
   }
 
@@ -773,6 +850,13 @@ class Driver {
   std::uint64_t reused_homes_ = 0;
   std::uint64_t patched_schedules_ = 0;
   std::uint64_t rebuilt_schedules_ = 0;
+
+  // Autonomic mode (cfg_.autonomic): telemetry + decisions, and replicated
+  // counts of the rebalances that fired.
+  std::unique_ptr<balance::Policy> policy_;
+  std::unique_ptr<balance::Monitor> monitor_;
+  int diffusions_ = 0;
+  int rebuilds_ = 0;
 
   CharmmPhaseTimes t_;
 };

@@ -12,6 +12,7 @@
 
 #include "apps/charmm/sequential.hpp"
 #include "apps/charmm/system.hpp"
+#include "balance/policy.hpp"
 #include "core/parallel_partition.hpp"
 #include "sim/machine.hpp"
 
@@ -58,6 +59,15 @@ struct ParallelCharmmConfig {
   /// alternating RCB and RIB as the paper does.
   int repartition_every = 0;
   bool alternate_partitioners = false;
+
+  /// Autonomic mode: ignore repartition_every and let a balance::Policy
+  /// decide when to redistribute from windowed per-rank load telemetry.
+  /// Diffusion rebalances adopt an incrementally shifted atom map (the
+  /// non-bonded list rows travel with their atoms, schedules re-seed on
+  /// the successor epoch); rebuilds run the configured partitioner. The
+  /// periodic non-bonded list rebuild cadence is unaffected.
+  bool autonomic = false;
+  balance::PolicyConfig policy;
 
   /// Build the step graph from hand-declared access sets (reads/
   /// writes_add/uses/updates) instead of typed view bindings. The two
@@ -133,6 +143,12 @@ struct ParallelCharmmResult {
   std::uint64_t arrival_wakeups = 0;
   std::uint64_t color_classes = 0;
   std::uint64_t pool_busy_ns = 0;
+
+  /// Autonomic mode: rebalances the policy fired (= diffusions +
+  /// rebuilds); replicated decisions, identical on every rank.
+  int rebalances = 0;
+  int diffusions = 0;
+  int rebuilds = 0;
 
   /// Per-step wire traffic, summed over ranks (comm::Engine per-batch
   /// snapshots), attributing messages/bytes to individual steps.

@@ -4,6 +4,8 @@
 #include <memory>
 #include <numeric>
 
+#include "balance/monitor.hpp"
+#include "partition/diffusion.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/step_graph.hpp"
 
@@ -37,10 +39,15 @@ class Driver {
   void run() {
     initialize();
     if (use_graph()) declare_graph();
+    if (cfg_.autonomic) {
+      policy_ = std::make_unique<balance::Policy>(cfg_.policy);
+      monitor_ = std::make_unique<balance::Monitor>(
+          comm_, policy_->config().window_steps);
+    }
     for (int step = 0; step < cfg_.steps; ++step) {
       cur_step_ = step;
-      const bool remap_due =
-          cfg_.remap_every > 0 && step > 0 && step % cfg_.remap_every == 0;
+      const bool remap_due = !cfg_.autonomic && cfg_.remap_every > 0 &&
+                             step > 0 && step % cfg_.remap_every == 0;
       if (use_graph()) {
         // One collide/move iteration of the declared graph; the previous
         // step's migration completes at collide's derived `mine_` hazard.
@@ -52,6 +59,7 @@ class Driver {
         move_phase();
       }
       if (remap_due) remap_phase();
+      if (cfg_.autonomic) autonomic_tick();
     }
     if (graph_) graph_->quiesce();
     const long long local = collisions_;
@@ -66,6 +74,9 @@ class Driver {
       shared_.collisions = total;
       shared_.peak_particle_bytes =
           static_cast<std::size_t>(peak) * sizeof(Particle);
+      shared_.rebalances = diffusions_ + rebuilds_;
+      shared_.diffusions = diffusions_;
+      shared_.rebuilds = rebuilds_;
     }
     if (cfg_.collect_state) collect_state();
   }
@@ -416,59 +427,114 @@ class Driver {
     mine_ = std::move(arrived);
   }
 
+  /// Run the configured partitioner over the current per-cell particle
+  /// counts and return the new replicated map. Collective.
+  std::vector<int> compute_remap_map() {
+    // Per-cell loads are known at each cell's owner.
+    std::vector<double> weights(my_cells_.size(), 0.0);
+    for (const Particle& q : mine_) {
+      const std::int32_t slot =
+          cell_slot_[static_cast<size_t>(cell_of(p_, q))];
+      weights[static_cast<size_t>(slot)] += 1.0;
+    }
+
+    std::vector<int> new_map;
+    if (cfg_.remap_partitioner == core::PartitionerKind::kChain) {
+      // Chain order = x slowest, so blocks are slabs across the flow.
+      std::vector<GlobalIndex> chain_ids(my_cells_.size());
+      for (std::size_t i = 0; i < my_cells_.size(); ++i)
+        chain_ids[i] = chain_position(p_, my_cells_[i]);
+      std::vector<part::Point3> centers(my_cells_.size());
+      for (std::size_t i = 0; i < my_cells_.size(); ++i)
+        centers[i] = cell_center(p_, my_cells_[i]);
+      std::vector<int> chain_map = rt_.partition_map(
+          core::PartitionerKind::kChain, chain_ids, centers, weights,
+          p_.n_cells());
+      new_map.resize(static_cast<size_t>(p_.n_cells()));
+      for (GlobalIndex c = 0; c < p_.n_cells(); ++c)
+        new_map[static_cast<size_t>(c)] =
+            chain_map[static_cast<size_t>(chain_position(p_, c))];
+    } else {
+      std::vector<part::Point3> centers(my_cells_.size());
+      for (std::size_t i = 0; i < my_cells_.size(); ++i)
+        centers[i] = cell_center(p_, my_cells_[i]);
+      new_map = rt_.partition_map(cfg_.remap_partitioner, my_cells_,
+                                  centers, weights, p_.n_cells());
+    }
+    return new_map;
+  }
+
+  /// Migrate particles to the new owners of their cells, posted through
+  /// the comm engine so the transfer overlaps the local rebuild of the
+  /// cell ownership structures (which needs only the new map, not the
+  /// arrivals): post -> flush -> rebuild -> wait.
+  void apply_map(std::vector<int> new_map) {
+    std::vector<int> dest(mine_.size());
+    for (std::size_t i = 0; i < mine_.size(); ++i)
+      dest[i] = new_map[static_cast<size_t>(cell_of(p_, mine_[i]))];
+    std::vector<Particle> arrived;
+    arrived.reserve(mine_.size());
+    const comm::CommHandle mig =
+        rt_.migrate_async<Particle>(dest, mine_, arrived);
+    rt_.comm_flush();
+    adopt_map(std::move(new_map));
+    rt_.comm_wait(mig);
+    mine_ = std::move(arrived);
+  }
+
   void remap_phase() {
     // A remap lands mid-pipeline: the previous move's migration may still
     // be in flight. Quiesce first (this also runs the arrival-swap
     // finalizer, so `mine_` is current before the weights are computed).
     if (graph_) graph_->quiesce();
+    timed(&DsmcPhaseTimes::remap,
+          [&] { apply_map(compute_remap_map()); });
+  }
+
+  /// Autonomic mode: one policy tick per step. Samples load telemetry;
+  /// when the window closes and the policy fires, rebalances cells through
+  /// the same migrate/adopt path as a manual remap. The cell map, window
+  /// loads, and decisions are replicated, so every rank computes the
+  /// identical new map — and physics is cadence-independent, so results
+  /// stay bitwise identical to the never-remap arm.
+  void autonomic_tick() {
+    monitor_->sample(nullptr, &rt_.engine());
+    if (!monitor_->window_full()) return;
+    const balance::Window w = monitor_->close();
+    const balance::Action act = policy_->decide(w);
+    if (act == balance::Action::kNone) return;
+    if (graph_) graph_->quiesce();
     timed(&DsmcPhaseTimes::remap, [&] {
-      // Per-cell loads are known at each cell's owner.
-      std::vector<double> weights(my_cells_.size(), 0.0);
-      for (const Particle& q : mine_) {
-        const std::int32_t slot =
-            cell_slot_[static_cast<size_t>(cell_of(p_, q))];
-        weights[static_cast<size_t>(slot)] += 1.0;
-      }
-
-      std::vector<int> new_map;
-      if (cfg_.remap_partitioner == core::PartitionerKind::kChain) {
-        // Chain order = x slowest, so blocks are slabs across the flow.
-        std::vector<GlobalIndex> chain_ids(my_cells_.size());
+      const double t0 = comm_.now();
+      if (act == balance::Action::kDiffuse) {
+        // Replicated per-cell particle counts give the mover exact
+        // bookkeeping; the rank-uniform fallback oscillates when cell
+        // populations are skewed (partition/diffusion.hpp).
+        struct CellWeight {
+          GlobalIndex c;
+          double w;
+        };
+        std::vector<CellWeight> local(my_cells_.size());
         for (std::size_t i = 0; i < my_cells_.size(); ++i)
-          chain_ids[i] = chain_position(p_, my_cells_[i]);
-        std::vector<part::Point3> centers(my_cells_.size());
-        for (std::size_t i = 0; i < my_cells_.size(); ++i)
-          centers[i] = cell_center(p_, my_cells_[i]);
-        std::vector<int> chain_map = rt_.partition_map(
-            core::PartitionerKind::kChain, chain_ids, centers, weights,
-            p_.n_cells());
-        new_map.resize(static_cast<size_t>(p_.n_cells()));
-        for (GlobalIndex c = 0; c < p_.n_cells(); ++c)
-          new_map[static_cast<size_t>(c)] =
-              chain_map[static_cast<size_t>(chain_position(p_, c))];
+          local[i] = {my_cells_[i], 0.0};
+        for (const Particle& q : mine_) {
+          const std::int32_t slot =
+              cell_slot_[static_cast<size_t>(cell_of(p_, q))];
+          local[static_cast<size_t>(slot)].w += 1.0;
+        }
+        std::vector<double> cell_w(static_cast<size_t>(p_.n_cells()), 0.0);
+        for (const CellWeight& cw : comm_.allgatherv<CellWeight>(local))
+          cell_w[static_cast<size_t>(cw.c)] = cw.w;
+        part::DiffusionResult diff = part::diffuse_partition(
+            cell_map_, w.load, policy_->config().target_balance, cell_w);
+        if (diff.moved == 0) return;
+        apply_map(std::move(diff.map));
+        ++diffusions_;
       } else {
-        std::vector<part::Point3> centers(my_cells_.size());
-        for (std::size_t i = 0; i < my_cells_.size(); ++i)
-          centers[i] = cell_center(p_, my_cells_[i]);
-        new_map = rt_.partition_map(cfg_.remap_partitioner, my_cells_,
-                                    centers, weights, p_.n_cells());
+        apply_map(compute_remap_map());
+        ++rebuilds_;
       }
-
-      // Migrate particles to the new owners of their cells, posted through
-      // the comm engine so the transfer overlaps the local rebuild of the
-      // cell ownership structures (which needs only the new map, not the
-      // arrivals): post -> flush -> rebuild -> wait.
-      std::vector<int> dest(mine_.size());
-      for (std::size_t i = 0; i < mine_.size(); ++i)
-        dest[i] = new_map[static_cast<size_t>(cell_of(p_, mine_[i]))];
-      std::vector<Particle> arrived;
-      arrived.reserve(mine_.size());
-      const comm::CommHandle mig =
-          rt_.migrate_async<Particle>(dest, mine_, arrived);
-      rt_.comm_flush();
-      adopt_map(std::move(new_map));
-      rt_.comm_wait(mig);
-      mine_ = std::move(arrived);
+      policy_->note_cost(comm_.now() - t0);
     });
   }
 
@@ -503,6 +569,12 @@ class Driver {
   std::vector<long long> chunk_collisions_;  // arrival arm: per-chunk counts
   DistHandle rows_;   // compiler path: replicated rows distribution
   DistHandle paged_;  // regular path: paged translation table
+
+  // Autonomic mode (cfg_.autonomic).
+  std::unique_ptr<balance::Policy> policy_;
+  std::unique_ptr<balance::Monitor> monitor_;
+  int diffusions_ = 0;
+  int rebuilds_ = 0;
 
   long long collisions_ = 0;
   DsmcPhaseTimes t_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "apps/dsmc/sequential.hpp"
+#include "balance/policy.hpp"
 #include "core/parallel_partition.hpp"
 #include "sim/machine.hpp"
 
@@ -50,6 +51,16 @@ struct ParallelDsmcConfig {
   int remap_every = 0;
   core::PartitionerKind remap_partitioner = core::PartitionerKind::kChain;
 
+  /// Autonomic mode: replace the fixed remap_every cadence with a
+  /// balance::Policy fed by windowed per-rank load telemetry. When the
+  /// policy fires, diffusion shifts whole cells between ranks through the
+  /// same migrate/adopt path a manual remap uses; a rebuild runs
+  /// remap_partitioner. Remap cadence never changes particle physics
+  /// (collisions are per (cell, step, bucket)), so results stay bitwise
+  /// identical to any other cadence — including never remapping.
+  bool autonomic = false;
+  balance::PolicyConfig policy;
+
   /// Build the step graph from hand-declared access sets instead of typed
   /// view bindings (bitwise-identical by contract; kept for the
   /// equivalence tests and as the documented escape hatch).
@@ -87,6 +98,11 @@ struct ParallelDsmcResult {
   /// enabled this is what dynamic storage actually cost, vs. the
   /// fixed-capacity over-allocation of one slot per particle ever alive.
   std::size_t peak_particle_bytes = 0;
+  /// Autonomic mode: rebalances fired (= diffusions + rebuilds). Decisions
+  /// are made from replicated windows, so these agree on every rank.
+  int rebalances = 0;
+  int diffusions = 0;
+  int rebuilds = 0;
   std::vector<Particle> particles;  ///< only when collect_state
 };
 

@@ -1,0 +1,84 @@
+// balance::Monitor — windowed per-rank load telemetry.
+//
+// The runtime already measures everything a rebalance decision needs: the
+// simulator charges per-rank compute (sim::Comm::stats().compute_s, fed by
+// ChunkContext::charge and the pool's pool_busy_ns accounting), the comm
+// engine counts per-peer wire traffic (comm::Engine::Traffic), and the
+// step graph counts hazard stalls (StepGraph::Stats). The Monitor turns
+// those monotonic streams into *windows*: call sample() once per
+// application step (cheap, local), and after `window_steps` samples
+// close() performs one collective exchange producing a Window — the
+// per-rank load vector and machine-wide counters for just that window.
+// balance::Policy consumes Windows; it never reads raw counters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/engine.hpp"
+#include "runtime/step_graph.hpp"
+#include "sim/machine.hpp"
+#include "util/stats.hpp"
+
+namespace chaos::balance {
+
+/// One closed telemetry window (collective product; identical on every
+/// rank, so policy decisions made from it are SPMD-safe).
+struct Window {
+  /// Per-rank charged compute seconds over the window.
+  std::vector<double> load;
+  /// Load-balance index of `load` (max*n/sum; 1.0 = perfect).
+  double balance = 1.0;
+  /// Steps sampled into this window.
+  int steps = 0;
+  /// Machine-wide counter sums over the window.
+  std::uint64_t hazard_stalls = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t pool_busy_ns = 0;
+  /// THIS rank's outgoing bytes by destination over the window (local
+  /// view; empty when the engine saw no traffic). Diagnostics only — the
+  /// replicated decision inputs are the fields above.
+  std::vector<std::uint64_t> peer_bytes;
+
+  double mean_load() const { return load.empty() ? 0.0 : chaos::mean(load); }
+  double max_load() const { return load.empty() ? 0.0 : chaos::max_of(load); }
+};
+
+class Monitor {
+ public:
+  Monitor(sim::Comm& comm, int window_steps);
+
+  /// Record one application step. Local (no communication). Either source
+  /// may be null: a graph contributes its windowed Stats via take_stats()
+  /// (do not mix with cumulative stats() readers on the same graph), an
+  /// engine contributes traffic deltas. The per-rank load signal itself
+  /// comes from the simulator clock and needs neither.
+  void sample(StepGraph* graph = nullptr, comm::Engine* engine = nullptr);
+
+  /// True once window_steps samples have accumulated.
+  bool window_full() const { return steps_ >= window_steps_; }
+
+  int window_steps() const { return window_steps_; }
+  int steps_sampled() const { return steps_; }
+
+  /// Close the window: one allgather of this rank's compute-seconds delta
+  /// plus counter sums, then reset for the next window. Collective — every
+  /// rank must call it at the same point (callers gate on window_full(),
+  /// which trips at identical step counts machine-wide). May be called
+  /// early (steps_sampled() < window_steps) by tests.
+  Window close();
+
+ private:
+  sim::Comm& comm_;
+  int window_steps_;
+  int steps_ = 0;
+  double compute_base_;
+  StepGraph::Stats acc_{};
+  comm::Engine* engine_ = nullptr;  ///< last engine seen by sample()
+  comm::Engine::Traffic traffic_base_{};
+  std::vector<std::uint64_t> peer_bytes_base_;
+};
+
+}  // namespace chaos::balance

@@ -1,0 +1,73 @@
+#include "balance/policy.hpp"
+
+#include <cstdio>
+
+namespace chaos::balance {
+
+const char* action_name(Action a) {
+  switch (a) {
+    case Action::kNone:
+      return "none";
+    case Action::kDiffuse:
+      return "diffuse";
+    case Action::kRebuild:
+      return "rebuild";
+  }
+  return "?";
+}
+
+double Policy::predicted_savings_per_step(const Window& w) const {
+  if (w.steps <= 0 || w.load.empty()) return 0.0;
+  return (w.max_load() - w.mean_load()) / static_cast<double>(w.steps);
+}
+
+Action Policy::decide(const Window& w) const {
+  if (w.load.size() <= 1) return Action::kNone;
+  if (w.balance <= cfg_.trigger_balance) return Action::kNone;
+  // Cost gate: a rebalance must pay for itself over the horizon. Until a
+  // cost has been measured (cost_ema_ == 0) the first fire is free —
+  // that measurement is how the model calibrates itself.
+  const double save = predicted_savings_per_step(w) * cfg_.payoff_horizon_steps;
+  if (cost_ema_ > 0.0 && save < cost_ema_) return Action::kNone;
+  return w.balance > cfg_.rebuild_balance ? Action::kRebuild
+                                          : Action::kDiffuse;
+}
+
+std::string Policy::reason(const Window& w, Action a) const {
+  char buf[160];
+  switch (a) {
+    case Action::kNone:
+      if (w.balance <= cfg_.trigger_balance) {
+        std::snprintf(buf, sizeof buf, "balance %.3f <= trigger %.2f",
+                      w.balance, cfg_.trigger_balance);
+      } else {
+        std::snprintf(
+            buf, sizeof buf,
+            "imbalance %.3f but predicted savings %.3gs over horizon < "
+            "cost %.3gs",
+            w.balance, predicted_savings_per_step(w) * cfg_.payoff_horizon_steps,
+            cost_ema_);
+      }
+      break;
+    case Action::kDiffuse:
+      std::snprintf(buf, sizeof buf,
+                    "balance %.3f > trigger %.2f, within diffusion range "
+                    "(<= %.2f)",
+                    w.balance, cfg_.trigger_balance, cfg_.rebuild_balance);
+      break;
+    case Action::kRebuild:
+      std::snprintf(buf, sizeof buf,
+                    "balance %.3f > rebuild threshold %.2f: drift too large "
+                    "for diffusion",
+                    w.balance, cfg_.rebuild_balance);
+      break;
+  }
+  return buf;
+}
+
+void Policy::note_cost(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  cost_ema_ = cost_ema_ <= 0.0 ? seconds : 0.5 * cost_ema_ + 0.5 * seconds;
+}
+
+}  // namespace chaos::balance

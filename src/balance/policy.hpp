@@ -1,0 +1,96 @@
+// balance::Policy — the when/how decision for autonomic rebalancing.
+//
+// Closes the loop the paper leaves to the application (§2: "the user
+// decides when to repartition"): given a telemetry Window, a cost model
+// weighs the predicted per-step savings of flattening the measured
+// imbalance against the measured cost of the last rebalances (partition +
+// seed/patch + remap, fed back via note_cost), and a strategy selector
+// picks between the incremental diffusion partitioner (moderate drift —
+// keeps seeded reuse on the patched path) and a full geometric/chain
+// rebuild (large drift — diffusion's rank-uniform weight model stops
+// being credible).
+//
+// Policy is pure decision logic: it performs no communication and touches
+// no runtime state, so it is trivially SPMD-safe when fed replicated
+// Windows (balance::Monitor::close produces exactly that). The driving —
+// firing the repartition, retargeting arrays and graphs — lives in the
+// Runtime service (balance/service.hpp) or in an app's own remap path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "balance/monitor.hpp"
+#include "core/parallel_partition.hpp"
+
+namespace chaos::balance {
+
+struct PolicyConfig {
+  /// Steps per telemetry window (forwarded to the Monitor).
+  int window_steps = 8;
+  /// Fire only when the window's load-balance index exceeds this.
+  double trigger_balance = 1.25;
+  /// Above this index, drift is "large": prefer a full rebuild over
+  /// diffusion.
+  double rebuild_balance = 2.5;
+  /// Diffusion flattens toward target_balance * mean load.
+  double target_balance = 1.05;
+  /// Payoff horizon: fire only when predicted savings over this many
+  /// future steps exceed the (measured) rebalance cost.
+  double payoff_horizon_steps = 64;
+  /// Partitioner used by the rebuild strategy.
+  core::PartitionerKind rebuild_kind = core::PartitionerKind::kRcb;
+};
+
+enum class Action { kNone, kDiffuse, kRebuild };
+const char* action_name(Action a);
+
+/// One fired rebalance, for reporting/benches. predicted_* fields are set
+/// at fire time; balance_after / realized_savings_per_step_s are
+/// backfilled when the *next* window closes.
+struct Report {
+  std::uint64_t step = 0;  ///< service step count at fire time
+  Action action = Action::kNone;
+  std::string reason;
+  double balance_before = 1.0;
+  double balance_predicted = 1.0;
+  double balance_after = 0.0;
+  double predicted_savings_per_step_s = 0.0;
+  double realized_savings_per_step_s = 0.0;
+  double cost_s = 0.0;        ///< measured wall (virtual) rebalance cost
+  std::int64_t moved = 0;     ///< elements migrated
+  std::uint64_t patched = 0;  ///< successor schedules kept on patched path
+  std::uint64_t rebuilt = 0;  ///< successor schedules regenerated
+  std::uint64_t carried = 0;  ///< plans replayed into the successor
+};
+
+class Policy {
+ public:
+  explicit Policy(PolicyConfig cfg = {}) : cfg_(cfg) {}
+
+  const PolicyConfig& config() const { return cfg_; }
+
+  /// Per-step seconds the bottleneck rank would shed if the window's load
+  /// were flattened to the mean.
+  double predicted_savings_per_step(const Window& w) const;
+
+  /// The when + how decision for one closed window. Deterministic from
+  /// (window, accumulated cost feedback).
+  Action decide(const Window& w) const;
+
+  /// Human-readable trigger rationale for the same inputs decide() saw.
+  std::string reason(const Window& w, Action a) const;
+
+  /// Feed back the measured cost of a fired rebalance (EMA; the cost gate
+  /// in decide() uses it). The first fire is free — no cost measurement
+  /// exists yet.
+  void note_cost(double seconds);
+  double cost_estimate() const { return cost_ema_; }
+
+ private:
+  PolicyConfig cfg_;
+  double cost_ema_ = 0.0;
+};
+
+}  // namespace chaos::balance

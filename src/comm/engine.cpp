@@ -36,10 +36,14 @@ void Engine::flush() {
   // collective, so the open-batch pattern — and therefore the machine-wide
   // tag sequence — is identical on every rank.
   b.tag = comm_.fresh_tag();
+  if (!b.out_bytes.empty() && peer_traffic_.empty())
+    peer_traffic_.resize(static_cast<std::size_t>(comm_.size()));
   for (auto& [peer, bytes] : b.out_bytes) {
     comm_.send<std::byte>(peer, b.tag, bytes);
     ++traffic_.messages;
     traffic_.bytes += bytes.size();
+    ++peer_traffic_[static_cast<std::size_t>(peer)].messages;
+    peer_traffic_[static_cast<std::size_t>(peer)].bytes += bytes.size();
     ++b.sent_traffic.messages;
     b.sent_traffic.bytes += bytes.size();
     // Only messages that actually packed several operations' segments

@@ -53,6 +53,7 @@
 // place real-time scheduling can show through (as with MPI_Test).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -230,10 +231,19 @@ class Engine {
   };
   const Traffic& traffic() const { return traffic_; }
 
-  /// Zero the cumulative counter (per-batch snapshots are unaffected) so a
-  /// bench can attribute subsequent traffic to one phase without keeping a
-  /// baseline copy around.
-  void reset_traffic() { traffic_ = Traffic{}; }
+  /// Cumulative outgoing traffic split by destination rank (index = peer;
+  /// sized comm.size() lazily on first flush, empty before any traffic).
+  /// balance::Monitor folds this into its per-window load vectors so the
+  /// policy can see *who* a rank talks to, not just how much.
+  std::span<const Traffic> peer_traffic() const { return peer_traffic_; }
+
+  /// Zero the cumulative counters (per-batch snapshots are unaffected) so
+  /// a bench can attribute subsequent traffic to one phase without keeping
+  /// a baseline copy around.
+  void reset_traffic() {
+    traffic_ = Traffic{};
+    std::fill(peer_traffic_.begin(), peer_traffic_.end(), Traffic{});
+  }
 
   /// Wire traffic of the batch `h` was posted into, recorded at its flush
   /// (zeros while the batch is still open). Lets benches attribute
@@ -350,6 +360,7 @@ class Engine {
   std::size_t recv_batch_ = 0;  ///< first batch not fully received
   std::uint32_t open_ = kNone;
   Traffic traffic_;
+  std::vector<Traffic> peer_traffic_;  ///< by destination rank, lazy-sized
 };
 
 // ---- template implementations ---------------------------------------------

@@ -1,5 +1,8 @@
 #include "partition/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +39,30 @@ std::size_t cut_edges(std::span<const int> assignment,
       ++cut;
   }
   return cut;
+}
+
+std::int64_t predicted_migration_volume(std::span<const double> loads,
+                                        std::span<const std::int64_t> counts,
+                                        double target_balance) {
+  CHAOS_CHECK(loads.size() == counts.size());
+  if (loads.empty()) return 0;
+  double total = 0.0;
+  for (const double l : loads) total += l;
+  if (total <= 0.0) return 0;
+  const double cap =
+      std::max(target_balance, 1.0) * total / static_cast<double>(loads.size());
+  std::int64_t volume = 0;
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    if (counts[p] <= 0 || loads[p] <= cap) continue;
+    const double w = loads[p] / static_cast<double>(counts[p]);
+    if (w <= 0.0) continue;
+    const auto shed =
+        static_cast<std::int64_t>(std::ceil((loads[p] - cap) / w));
+    // A part cannot shed more elements than it owns (keep one resident so
+    // the part stays addressable).
+    volume += std::min(shed, counts[p] - 1);
+  }
+  return volume;
 }
 
 }  // namespace chaos::part

@@ -24,4 +24,14 @@ std::size_t cut_edges(std::span<const int> assignment,
                       std::span<const std::pair<std::int64_t, std::int64_t>>
                           edges);
 
+/// Predicted number of elements a rebalance must migrate to bring every
+/// part under `target_balance` times the mean load, under the
+/// rank-uniform weight model the balance policy uses: each of part p's
+/// `counts[p]` elements carries loads[p] / counts[p], and an overloaded
+/// part sheds ceil(excess / weight) elements. Parts with no elements (or
+/// no load) shed nothing. loads.size() == counts.size() == nparts.
+std::int64_t predicted_migration_volume(std::span<const double> loads,
+                                        std::span<const std::int64_t> counts,
+                                        double target_balance = 1.05);
+
 }  // namespace chaos::part

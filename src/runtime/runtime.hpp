@@ -88,9 +88,19 @@ enum class IterationPolicy { kOwnerComputes, kAlmostOwnerComputes };
 class LoopBuilder;
 class StepGraph;
 
+namespace balance {
+class Policy;
+struct Binding;
+struct Report;
+struct ServiceState;
+}  // namespace balance
+
 class Runtime {
  public:
-  explicit Runtime(sim::Comm& comm) : comm_(comm) {}
+  // Both out of line (balance/service.cpp): the ctor/dtor must see the
+  // complete type behind the opaque balance-service pointer.
+  explicit Runtime(sim::Comm& comm);
+  ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
@@ -517,6 +527,41 @@ class Runtime {
   /// (complete all in-flight pipelined communication).
   void run(StepGraph& graph, int iterations = 1);
 
+  // ---- autonomic load balancing (src/balance/, defined in service.cpp) -
+  //
+  // Install a balance::Policy plus a Binding describing the application
+  // state a rebalance must move (managed arrays, a re-inspect callback,
+  // rebuild geometry), then call balance_step(graph) once per iteration
+  // between advances. The service samples telemetry every step; when a
+  // window closes and the policy fires, it quiesces the graph,
+  // repartitions (incremental diffusion or full rebuild), retargets the
+  // managed arrays and the graph onto the successor epoch, retires the
+  // predecessor, and records a balance::Report. See docs/API.md
+  // "Autonomic load balancing".
+
+  /// Install (or replace) the balance service. Passing a null policy
+  /// uninstalls it.
+  void set_balance_policy(std::unique_ptr<balance::Policy> policy,
+                          balance::Binding binding);
+
+  /// One service tick: sample telemetry; on window close, decide and (if
+  /// the policy fires) rebalance. Collective in the same pattern on every
+  /// rank (decisions are made from replicated windows). Returns true iff a
+  /// rebalance fired this step. No-op returning false when no policy is
+  /// installed. The service consumes the graph's windowed counters via
+  /// take_stats() — do not mix with cumulative stats() readers.
+  bool balance_step(StepGraph& graph);
+
+  /// The installed policy (null when none).
+  balance::Policy* balance_policy();
+
+  /// The distribution currently bound to the service (moves to each
+  /// successor epoch as rebalances fire).
+  DistHandle balance_dist() const;
+
+  /// Every rebalance fired so far, oldest first.
+  const std::vector<balance::Report>& balance_reports() const;
+
  private:
   friend class LoopBuilder;
   friend class StepGraph;
@@ -606,6 +651,10 @@ class Runtime {
 
   /// Registered step graphs (must be destroyed before the Runtime).
   std::vector<StepGraph*> graphs_;
+
+  /// Autonomic balance service (balance/service.cpp); null until
+  /// set_balance_policy.
+  std::unique_ptr<balance::ServiceState> bal_;
 
   // Dedup keys so repeated bind/inspect/merge calls reuse handles.
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> loop_keys_;

@@ -513,8 +513,22 @@ class StepGraph {
     std::uint64_t color_classes = 0;
     /// Wall-clock nanoseconds pool workers spent running chunk callbacks.
     std::uint64_t pool_busy_ns = 0;
+
+    /// Zero every counter. Long-running services window the counters
+    /// rather than reading monotonic totals (see take_stats()).
+    void reset() { *this = Stats{}; }
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot-and-reset: return the counters accumulated since the last
+  /// take_stats() (or construction) and zero them. This is the windowed
+  /// form balance::Monitor consumes — callers that want monotonic totals
+  /// keep using stats() and must not mix the two on one graph.
+  Stats take_stats() {
+    Stats s = stats_;
+    stats_.reset();
+    return s;
+  }
 
   /// Bytes of auxiliary state this graph holds beyond the declarations
   /// themselves: cached chunk plans (peer/color tables) and the worker

@@ -1,0 +1,460 @@
+// chaos::balance — unit tests for the policy/monitor decision layer plus
+// service-level equivalence: an autonomic run (telemetry -> policy ->
+// diffusion/rebuild -> retarget) must stay bitwise identical to a run
+// that never rebalances, because a rebalance only relocates elements.
+//
+// Includes the tombstone regression: a rebalance fired right after
+// delete_elements (holes present in the universe) must produce a valid
+// successor — every dead id stays dead, every live id keeps exactly one
+// owner — for both the diffusion and rebuild strategies.
+//
+// BalanceDrift.Randomized* honors the shared --seeds=N knob
+// (tests/support/seeds.hpp); CI's stress label runs it with extra seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "balance/monitor.hpp"
+#include "balance/policy.hpp"
+#include "balance/service.hpp"
+#include "lang/array.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/step_graph.hpp"
+#include "sim/machine.hpp"
+#include "support/seeds.hpp"
+#include "util/rng.hpp"
+
+namespace chaos {
+namespace {
+
+using core::GlobalIndex;
+namespace ts = testing_support;
+
+// ---- Policy (pure decision logic) --------------------------------------
+
+balance::Window window_of(std::vector<double> load, int steps = 8) {
+  balance::Window w;
+  w.load = std::move(load);
+  w.balance = load_balance_index(w.load);
+  w.steps = steps;
+  return w;
+}
+
+TEST(Policy, BalancedWindowIsNone) {
+  balance::Policy p;
+  EXPECT_EQ(p.decide(window_of({1.0, 1.0, 1.0, 1.0})),
+            balance::Action::kNone);
+}
+
+TEST(Policy, SingleRankIsNone) {
+  balance::Policy p;
+  EXPECT_EQ(p.decide(window_of({10.0})), balance::Action::kNone);
+}
+
+TEST(Policy, ModerateDriftDiffuses) {
+  // Balance 4*4/7 ≈ 2.29: above the 1.25 trigger, below the 2.5 rebuild
+  // threshold.
+  balance::Policy p;
+  EXPECT_EQ(p.decide(window_of({4.0, 1.0, 1.0, 1.0})),
+            balance::Action::kDiffuse);
+}
+
+TEST(Policy, LargeDriftRebuilds) {
+  // Balance 9*4/12 = 3.0 > 2.5.
+  balance::Policy p;
+  EXPECT_EQ(p.decide(window_of({9.0, 1.0, 1.0, 1.0})),
+            balance::Action::kRebuild);
+}
+
+TEST(Policy, FirstFireIsFreeThenCostGated) {
+  balance::PolicyConfig cfg;
+  cfg.payoff_horizon_steps = 8;
+  balance::Policy p(cfg);
+  const balance::Window w = window_of({4.0, 1.0, 1.0, 1.0});
+  // No cost measured yet: fires.
+  EXPECT_EQ(p.decide(w), balance::Action::kDiffuse);
+  // Savings per step = (4 - 1.75) / 8 steps; over an 8-step horizon that
+  // is 2.25s. A measured cost above it must gate the next fire...
+  p.note_cost(50.0);
+  EXPECT_EQ(p.decide(w), balance::Action::kNone);
+  EXPECT_NE(p.reason(w, balance::Action::kNone).find("cost"),
+            std::string::npos);
+  // ...and the EMA decays toward cheap rebalances until it pays again
+  // (50 halves below the 2.25s horizon savings after 5 cheap fires).
+  for (int i = 0; i < 5; ++i) p.note_cost(0.0);
+  EXPECT_EQ(p.decide(w), balance::Action::kDiffuse);
+}
+
+TEST(Policy, NoteCostIsEma) {
+  balance::Policy p;
+  p.note_cost(2.0);
+  EXPECT_DOUBLE_EQ(p.cost_estimate(), 2.0);
+  p.note_cost(4.0);
+  EXPECT_DOUBLE_EQ(p.cost_estimate(), 3.0);  // 0.5*2 + 0.5*4
+}
+
+TEST(Policy, PredictedSavingsIsBottleneckExcess) {
+  balance::Policy p;
+  const balance::Window w = window_of({6.0, 2.0, 2.0, 2.0}, 4);
+  // (max 6 - mean 3) / 4 steps.
+  EXPECT_DOUBLE_EQ(p.predicted_savings_per_step(w), 0.75);
+}
+
+// ---- StepGraph::Stats windowed semantics (take_stats) ------------------
+
+TEST(StepGraphStats, TakeStatsDrainsAndResets) {
+  sim::Machine m(2);
+  m.run([&](sim::Comm& c) {
+    Runtime rt(c);
+    const DistHandle d = rt.block(16);
+    Array<double> x(rt, d, "x"), y(rt, d, "y");
+    x.fill([](GlobalIndex g) { return static_cast<double>(g); });
+
+    StepGraph g(rt);
+    g.step("copy").bind(use(x), update(y)).compute([&] {
+      for (GlobalIndex i = 0; i < x.owned(); ++i) y[i] = x[i];
+    });
+
+    for (int s = 0; s < 3; ++s) g.advance(false);
+    StepGraph::Stats w1 = g.take_stats();
+    EXPECT_EQ(w1.iterations, 3u);
+    // The window is drained: an immediate second take sees nothing.
+    EXPECT_EQ(g.take_stats().iterations, 0u);
+    // The next window accumulates independently.
+    g.advance(false);
+    EXPECT_EQ(g.take_stats().iterations, 1u);
+  });
+}
+
+// ---- Monitor windows over skewed charged work --------------------------
+
+TEST(Monitor, WindowsIsolateSkewedLoad) {
+  sim::Machine m(4);
+  m.run([&](sim::Comm& c) {
+    balance::Monitor mon(c, 3);
+    EXPECT_FALSE(mon.window_full());
+
+    // Window 1: rank r charges (r+1) units per step.
+    for (int s = 0; s < 3; ++s) {
+      c.charge_work(100.0 * (c.rank() + 1));
+      mon.sample();
+    }
+    EXPECT_TRUE(mon.window_full());
+    const balance::Window w1 = mon.close();
+    EXPECT_EQ(w1.steps, 3);
+    ASSERT_EQ(w1.load.size(), 4u);
+    for (int r = 0; r + 1 < 4; ++r) EXPECT_LT(w1.load[r], w1.load[r + 1]);
+    // Loads 1:2:3:4 -> index = 4 * 4 / 10.
+    EXPECT_NEAR(w1.balance, 1.6, 1e-9);
+
+    // close() opened a fresh window: uniform charges must show balanced,
+    // unpolluted by window 1's skew.
+    EXPECT_FALSE(mon.window_full());
+    for (int s = 0; s < 3; ++s) {
+      c.charge_work(100.0);
+      mon.sample();
+    }
+    const balance::Window w2 = mon.close();
+    EXPECT_NEAR(w2.balance, 1.0, 1e-9);
+  });
+}
+
+// ---- Service-level equivalence harness ---------------------------------
+
+struct MiniSpec {
+  int P = 4;
+  GlobalIndex n = 64;
+  int window = 4;
+  int pre_steps = 0;    ///< uniform-weight steps before install
+  int post_steps = 12;  ///< skewed steps after install
+  double skew = 6.0;
+  double rebuild_balance = 3.5;  ///< lower it to force the rebuild strategy
+  std::vector<GlobalIndex> dead;  ///< deleted right before install
+  bool autonomic = true;
+};
+
+struct MiniOut {
+  std::vector<double> x;  ///< final values by global id (dead slots 0)
+  std::vector<GlobalIndex> owned_union;  ///< all ranks' owned ids, sorted
+  GlobalIndex final_size = 0;
+  std::vector<balance::Report> reports;
+};
+
+/// One irregular-halo loop over a block distribution; the top quarter of
+/// the id space turns `skew`-hot once the policy is installed. Optionally
+/// deletes `spec.dead` first, so the rebalance fires onto a universe with
+/// holes.
+MiniOut run_mini(const MiniSpec& spec) {
+  MiniOut out;
+  sim::Machine m(spec.P);
+  m.run([&](sim::Comm& c) {
+    Runtime rt(c);
+    DistHandle d = rt.block(spec.n);
+    Array<double> x(rt, d, "x"), y(rt, d, "y");
+    x.fill([](GlobalIndex g) { return 1.0 + 0.25 * static_cast<double>(g); });
+
+    // Replicated live-id list; refs point at the next live id (cyclic).
+    std::vector<GlobalIndex> live(static_cast<std::size_t>(spec.n));
+    for (std::size_t g = 0; g < live.size(); ++g)
+      live[g] = static_cast<GlobalIndex>(g);
+
+    bool drifting = false;
+    const auto weight = [&](GlobalIndex g) {
+      return (drifting && g >= 3 * spec.n / 4) ? spec.skew : 1.0;
+    };
+
+    std::vector<GlobalIndex> gids;
+    lang::IndirectionArray ind;
+    LoopHandle loop;
+    ScheduleHandle sched;
+    const auto build_loop = [&](DistHandle h) {
+      gids = rt.owned_globals(h);
+      std::vector<GlobalIndex> refs(gids.size());
+      for (std::size_t k = 0; k < gids.size(); ++k) {
+        auto it = std::upper_bound(live.begin(), live.end(), gids[k]);
+        refs[k] = it == live.end() ? live.front() : *it;
+      }
+      // Leave the modification record alone when the refs are unchanged
+      // (home stability), so the seeded registry can patch.
+      const std::span<const GlobalIndex> old_refs = ind.values();
+      if (!std::equal(refs.begin(), refs.end(), old_refs.begin(),
+                      old_refs.end()))
+        ind.assign(std::move(refs));
+      loop = rt.bind(h, ind);
+      sched = rt.inspect(loop);
+    };
+    build_loop(d);
+
+    StepGraph g(rt);
+    g.step("halo").bind(in(x).via(sched), update(y)).compute([&] {
+      const std::span<const GlobalIndex> lr = rt.local_refs(loop);
+      double work = 0;
+      for (std::size_t k = 0; k < gids.size(); ++k) {
+        const auto i = static_cast<GlobalIndex>(k);
+        y[i] = 0.5 * x[i] + 0.25 * x[lr[k]] + 0.125;
+        work += 50.0 * weight(gids[k]);
+      }
+      c.charge_work(work);
+    });
+    g.step("advance").bind(use(y), update(x)).compute([&] {
+      for (GlobalIndex i = 0; i < x.owned(); ++i) x[i] = y[i];
+      c.charge_work(2.0 * static_cast<double>(x.owned()));
+    });
+
+    for (int s = 0; s < spec.pre_steps; ++s) g.advance(false);
+
+    if (!spec.dead.empty()) {
+      g.quiesce();
+      const DistHandle d1 =
+          rt.delete_elements(d, std::span<const GlobalIndex>{spec.dead});
+      const ScheduleHandle plan = rt.plan_remap(d, d1);
+      x.retarget(plan, d1);
+      y.retarget(plan, d1);
+      std::vector<GlobalIndex> survivors;
+      std::set_difference(live.begin(), live.end(), spec.dead.begin(),
+                          spec.dead.end(), std::back_inserter(survivors));
+      live = std::move(survivors);
+      const ScheduleHandle old = sched;
+      build_loop(d1);
+      g.retarget(old, sched);
+      rt.retire(d);
+      d = d1;
+    }
+
+    drifting = true;
+    if (spec.autonomic) {
+      balance::Binding b;
+      b.dist = d;
+      b.manage(x);
+      b.manage(y);
+      b.points = [&] {
+        std::vector<part::Point3> pts;
+        for (GlobalIndex gid : rt.owned_globals(rt.balance_dist()))
+          pts.push_back({static_cast<double>(gid), 0.0, 0.0});
+        return pts;
+      };
+      b.weights = [&] {
+        std::vector<double> ws;
+        for (GlobalIndex gid : rt.owned_globals(rt.balance_dist()))
+          ws.push_back(weight(gid));
+        return ws;
+      };
+      b.remap = [&](DistHandle, DistHandle to) {
+        const ScheduleHandle old = sched;
+        build_loop(to);
+        return std::vector<std::pair<ScheduleHandle, ScheduleHandle>>{
+            {old, sched}};
+      };
+      balance::PolicyConfig pc;
+      pc.window_steps = spec.window;
+      pc.rebuild_balance = spec.rebuild_balance;
+      rt.set_balance_policy(std::make_unique<balance::Policy>(pc),
+                            std::move(b));
+    }
+
+    for (int s = 0; s < spec.post_steps; ++s) {
+      g.advance(false);
+      if (spec.autonomic) rt.balance_step(g);
+    }
+    g.quiesce();
+
+    const DistHandle cur = spec.autonomic ? rt.balance_dist() : d;
+    struct IdVal {
+      GlobalIndex id;
+      double v;
+    };
+    const std::vector<GlobalIndex> gl = rt.owned_globals(cur);
+    std::vector<IdVal> mine(gl.size());
+    for (std::size_t i = 0; i < gl.size(); ++i)
+      mine[i] = IdVal{gl[i], x[static_cast<GlobalIndex>(i)]};
+    const std::vector<IdVal> all =
+        c.allgatherv<IdVal>(std::span<const IdVal>(mine));
+    const std::vector<GlobalIndex> union_ids = [&] {
+      std::vector<GlobalIndex> ids;
+      for (const IdVal& iv : all) ids.push_back(iv.id);
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    }();
+    if (c.rank() == 0) {
+      out.x.assign(static_cast<std::size_t>(spec.n), 0.0);
+      for (const IdVal& iv : all)
+        out.x[static_cast<std::size_t>(iv.id)] = iv.v;
+      out.owned_union = union_ids;
+      out.final_size = rt.global_size(cur);
+      out.reports = rt.balance_reports();
+    }
+  });
+  return out;
+}
+
+std::vector<GlobalIndex> expect_live(GlobalIndex n,
+                                     const std::vector<GlobalIndex>& dead) {
+  std::vector<GlobalIndex> live;
+  const std::set<GlobalIndex> d(dead.begin(), dead.end());
+  for (GlobalIndex g = 0; g < n; ++g)
+    if (!d.count(g)) live.push_back(g);
+  return live;
+}
+
+void expect_equiv(const MiniOut& a, const MiniOut& oracle, GlobalIndex n,
+                  const std::vector<GlobalIndex>& dead) {
+  // Ownership validity: exactly the live ids, each owned once; no
+  // tombstone resurrected.
+  EXPECT_EQ(a.owned_union, expect_live(n, dead));
+  EXPECT_EQ(a.final_size, oracle.final_size);
+  // A rebalance relocates elements; it must not change a single bit of
+  // the element values.
+  ASSERT_EQ(a.x.size(), oracle.x.size());
+  for (std::size_t g = 0; g < a.x.size(); ++g)
+    ASSERT_EQ(a.x[g], oracle.x[g]) << "value diverged at global id " << g;
+}
+
+TEST(BalanceService, EndToEndFiresAndStaysBitwise) {
+  MiniSpec spec;
+  const MiniOut oracle = run_mini([&] {
+    MiniSpec s = spec;
+    s.autonomic = false;
+    return s;
+  }());
+  const MiniOut auto_arm = run_mini(spec);
+
+  expect_equiv(auto_arm, oracle, spec.n, spec.dead);
+  ASSERT_GE(auto_arm.reports.size(), 1u);
+  const balance::Report& r = auto_arm.reports.front();
+  EXPECT_EQ(r.action, balance::Action::kDiffuse);
+  EXPECT_GT(r.moved, 0);
+  EXPECT_GT(r.balance_before, 1.25);
+  EXPECT_LT(r.balance_predicted, r.balance_before);
+}
+
+TEST(BalanceService, RebalanceAfterDeleteDiffusion) {
+  // Holes in the middle of the universe (rank 1's region), then a
+  // diffusion fire: the successor must keep every hole dead.
+  MiniSpec spec;
+  spec.pre_steps = 4;
+  for (GlobalIndex g = 20; g < 28; ++g) spec.dead.push_back(g);
+  const MiniOut oracle = run_mini([&] {
+    MiniSpec s = spec;
+    s.autonomic = false;
+    return s;
+  }());
+  const MiniOut auto_arm = run_mini(spec);
+
+  expect_equiv(auto_arm, oracle, spec.n, spec.dead);
+  ASSERT_GE(auto_arm.reports.size(), 1u);
+  EXPECT_EQ(auto_arm.reports.front().action, balance::Action::kDiffuse);
+}
+
+TEST(BalanceService, RebalanceAfterDeleteRebuild) {
+  // Same holes, but drift above the rebuild threshold: the geometric
+  // rebuild path must also preserve tombstones.
+  MiniSpec spec;
+  spec.pre_steps = 4;
+  spec.rebuild_balance = 1.5;  // measured drift (~2.7) exceeds this
+  for (GlobalIndex g = 20; g < 28; ++g) spec.dead.push_back(g);
+  const MiniOut oracle = run_mini([&] {
+    MiniSpec s = spec;
+    s.autonomic = false;
+    return s;
+  }());
+  const MiniOut auto_arm = run_mini(spec);
+
+  expect_equiv(auto_arm, oracle, spec.n, spec.dead);
+  ASSERT_GE(auto_arm.reports.size(), 1u);
+  EXPECT_EQ(auto_arm.reports.front().action, balance::Action::kRebuild);
+}
+
+// ---- Seeded drift fuzz -------------------------------------------------
+
+TEST(BalanceDrift, RandomizedDriftEquivalence) {
+  const std::uint64_t seeds = ts::seed_count(3, "CHAOS_BALANCE_SEEDS");
+  const std::uint64_t base =
+      ts::env_seed_u64("CHAOS_BALANCE_SEED_BASE", 1000);
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = base + s;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    MiniSpec spec;
+    spec.P = 2 + static_cast<int>(rng.below(3));
+    spec.n = 32 + static_cast<GlobalIndex>(rng.below(64));
+    spec.window = 3;
+    spec.post_steps = 3 * spec.window;
+    spec.skew = 3.0 + static_cast<double>(rng.below(4));
+    // Half the runs force the rebuild strategy instead of diffusion.
+    if (rng.below(2) == 0) spec.rebuild_balance = 1.3;
+    // Half the runs delete a random batch first, so fires land on holes.
+    if (rng.below(2) == 0) {
+      spec.pre_steps = spec.window;
+      std::set<GlobalIndex> dead;
+      const std::uint64_t ndead = 1 + rng.below(
+          static_cast<std::uint64_t>(spec.n / 8));
+      while (dead.size() < ndead)
+        dead.insert(static_cast<GlobalIndex>(
+            rng.below(static_cast<std::uint64_t>(spec.n))));
+      spec.dead.assign(dead.begin(), dead.end());
+    }
+
+    const MiniOut oracle = run_mini([&] {
+      MiniSpec o = spec;
+      o.autonomic = false;
+      return o;
+    }());
+    const MiniOut auto_arm = run_mini(spec);
+    expect_equiv(auto_arm, oracle, spec.n, spec.dead);
+    // Validity of every fired successor is implied by the end-state
+    // checks; additionally every fire must have moved something.
+    for (const balance::Report& r : auto_arm.reports) {
+      EXPECT_NE(r.action, balance::Action::kNone);
+      EXPECT_GT(r.moved, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chaos
