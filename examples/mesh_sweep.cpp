@@ -89,6 +89,7 @@ ArmResult run_arm(int ranks, bool pipelining) {
 
     StepGraph g(rt);
     g.set_pipelining(pipelining);
+    g.set_strict(true);  // static verification gates arming (chaos-verify)
     g.step("sweep_mesh")
         .bind(in(u).via(hm), sum(du_short).via(hm))
         .compute([&] { sweep(lm, du_short, 0.25); });

@@ -86,6 +86,7 @@ std::vector<double> run_arm(int ranks, bool pipelining) {
 
     StepGraph g(rt);
     g.set_pipelining(pipelining);
+    g.set_strict(true);  // static verification gates arming (chaos-verify)
     g.step("spmv").bind(in(x).via(h), update(y)).compute([&] {
       for (GlobalIndex r = 0; r < y.owned(); ++r) {
         double acc = 0;

@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       // communication happens.
       StepGraph g(rt);
       g.set_pipelining(pipelining);
+      g.set_strict(true);  // static verification gates arming (chaos-verify)
       g.step("field_a")
           .reads(xa, ha)
           .compute([&] {

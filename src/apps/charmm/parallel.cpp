@@ -82,6 +82,17 @@ class Driver {
     build_schedules(/*regen=*/false);
     if (use_graph() && !graph_) declare_graph();
 
+    if (cfg_.verify_graph) {
+      // Analysis-only mode: run the static rule pipeline over the declared
+      // graph and return without simulating a single step. Analysis never
+      // communicates, so the early return is collective-safe.
+      if (graph_) {
+        std::vector<verify::Diagnostic> ds = rt_.verify(*graph_);
+        if (comm_.rank() == 0) shared_.verify_diagnostics = std::move(ds);
+      }
+      return;
+    }
+
     if (cfg_.autonomic) {
       policy_ = std::make_unique<balance::Policy>(cfg_.policy);
       monitor_ = std::make_unique<balance::Monitor>(
@@ -551,6 +562,9 @@ class Driver {
   void declare_graph() {
     graph_ = std::make_unique<StepGraph>(rt_);
     graph_->set_pipelining(shape() != CharmmShape::kStepGraphEager);
+    // Dogfood the static analyzer: every shipped graph arms strict, so a
+    // declaration defect fails fast here, not as a downstream data race.
+    graph_->set_strict(true);
     if (cfg_.declare_by_hand) {
       graph_->step("bonded")
           .reads(pos_, h_bond_)
@@ -569,11 +583,12 @@ class Driver {
       return;
     }
     graph_->step("bonded")
-        .bind(in(pos_).via(h_bond_), sum(force_bond_).via(h_bond_))
+        .bind(in(pos_).via(h_bond_).named("pos"),
+              sum(force_bond_).via(h_bond_).named("force_bond"))
         .compute([this] { compute_bonded_step(); });
-    Step& nonbonded =
-        graph_->step("nonbonded")
-            .bind(in(pos_).via(h_nb_), sum(force_).via(h_nb_));
+    Step& nonbonded = graph_->step("nonbonded")
+                          .bind(in(pos_).via(h_nb_).named("pos"),
+                                sum(force_).via(h_nb_).named("force"));
     if (shape() == CharmmShape::kStepGraphArrival) {
       // Message-driven arm: the pair list is split by the peer owning the
       // off-processor partner, and each chunk fires as soon as that peer's
@@ -592,7 +607,8 @@ class Driver {
       nonbonded.compute([this] { compute_nonbonded_step(); });
     }
     graph_->step("integrate")
-        .bind(use(force_), use(force_bond_), update(pos_), update(vel_))
+        .bind(use(force_).named("force"), use(force_bond_).named("force_bond"),
+              update(pos_).named("pos"), update(vel_).named("vel"))
         .compute([this] { integrate_graph(); });
   }
 

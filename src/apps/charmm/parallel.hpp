@@ -15,6 +15,7 @@
 #include "balance/policy.hpp"
 #include "core/parallel_partition.hpp"
 #include "sim/machine.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace chaos::charmm {
 
@@ -85,6 +86,12 @@ struct ParallelCharmmConfig {
   /// Collect final global positions/forces into the result (tests only;
   /// costs an allgather outside the timed region).
   bool collect_state = false;
+
+  /// Analysis-only mode: declare the step graph, run the verify::Analyzer
+  /// rule pipeline over it, store the findings in the result, and return
+  /// WITHOUT simulating anything (the chaos-verify CLI and the shipped-
+  /// graphs-clean sweep). Only meaningful for the step-graph shapes.
+  bool verify_graph = false;
 };
 
 /// Per-rank virtual-time spent in each phase; the bench tables report the
@@ -164,6 +171,10 @@ struct ParallelCharmmResult {
   /// Global state in global-id order (only when collect_state).
   std::vector<part::Point3> pos;
   std::vector<part::Vec3> force;
+
+  /// Findings of the analysis-only run (cfg.verify_graph), from rank 0
+  /// (error rules are declaration-level — identical on every rank).
+  std::vector<verify::Diagnostic> verify_diagnostics;
 };
 
 /// Runs the full parallel simulation on the given machine. The machine's

@@ -39,6 +39,15 @@ class Driver {
   void run() {
     initialize();
     if (use_graph()) declare_graph();
+    if (cfg_.verify_graph) {
+      // Analysis-only mode: static rule pipeline over the declared graph,
+      // no simulation. Analysis never communicates — collective-safe.
+      if (graph_) {
+        std::vector<verify::Diagnostic> ds = rt_.verify(*graph_);
+        if (comm_.rank() == 0) shared_.verify_diagnostics = std::move(ds);
+      }
+      return;
+    }
     if (cfg_.autonomic) {
       policy_ = std::make_unique<balance::Policy>(cfg_.policy);
       monitor_ = std::make_unique<balance::Monitor>(
@@ -179,6 +188,9 @@ class Driver {
   void declare_graph() {
     graph_ = std::make_unique<StepGraph>(rt_);
     graph_->set_pipelining(cfg_.executor != DsmcExecutor::kStepGraphEager);
+    // Every shipped graph arms strict: declaration defects fail fast as
+    // analyzer findings instead of downstream races.
+    graph_->set_strict(true);
     const auto collide_step = [this] {
       timed(&DsmcPhaseTimes::collide, [&] { collide_compute(); });
     };
@@ -199,7 +211,8 @@ class Driver {
           .then(swap_arrivals);
       return;
     }
-    Step& collide = graph_->step("collide").bind(use(mine_));
+    Step& collide =
+        graph_->step("collide").bind(use(mine_).named("particles"));
     if (cfg_.executor == DsmcExecutor::kStepGraphArrival) {
       // Chunked collide: the serial prelude buckets particles into cells,
       // then fixed-count chunks each process a disjoint cell range. No two
@@ -220,9 +233,10 @@ class Driver {
       collide.compute(collide_step);
     }
     graph_->step("move")
-        .bind(update(mine_), update(dest_procs_))
+        .bind(update(mine_).named("particles"),
+              update(dest_procs_).named("dest_procs"))
         .compute(move_step)
-        .bind(migrate(mine_).to(dest_procs_).into(arrived_))
+        .bind(migrate(mine_).to(dest_procs_).into(arrived_).named("particles"))
         .then(swap_arrivals);
   }
 

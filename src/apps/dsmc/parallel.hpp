@@ -10,6 +10,7 @@
 #include "balance/policy.hpp"
 #include "core/parallel_partition.hpp"
 #include "sim/machine.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace chaos::dsmc {
 
@@ -72,6 +73,12 @@ struct ParallelDsmcConfig {
 
   /// Collect final particles (sorted by id) into the result. Tests only.
   bool collect_state = false;
+
+  /// Analysis-only mode: declare the step graph, run the verify::Analyzer
+  /// rule pipeline over it, store the findings in the result, and return
+  /// without simulating (the chaos-verify CLI and the shipped-graphs-clean
+  /// sweep). Only meaningful for the step-graph executors.
+  bool verify_graph = false;
 };
 
 /// Per-phase virtual times. Under the step-graph executor the migration
@@ -104,6 +111,8 @@ struct ParallelDsmcResult {
   int diffusions = 0;
   int rebuilds = 0;
   std::vector<Particle> particles;  ///< only when collect_state
+  /// Findings of the analysis-only run (cfg.verify_graph), from rank 0.
+  std::vector<verify::Diagnostic> verify_diagnostics;
 };
 
 ParallelDsmcResult run_parallel_dsmc(sim::Machine& machine,

@@ -43,6 +43,19 @@ constexpr const char* to_string(AccessKind k) {
   return "?";
 }
 
+/// Kind predicates shared by the hazard machinery and the static analyzer
+/// (verify::Analyzer): communication kinds ride a schedule; modifying
+/// kinds change the array's owned values, which is what decides whether a
+/// later gather of the same array can deliver anything new.
+constexpr bool is_comm(AccessKind k) {
+  return k == AccessKind::kGather || k == AccessKind::kScatter ||
+         k == AccessKind::kScatterAdd || k == AccessKind::kMigrate;
+}
+constexpr bool is_owner_write(AccessKind k) {
+  return k == AccessKind::kScatter || k == AccessKind::kScatterAdd ||
+         k == AccessKind::kMigrate || k == AccessKind::kLocalWrite;
+}
+
 /// One declared access. Arrays are identified by the address of their
 /// container (std::vector / DistributedArray / chaos::Array), which is
 /// stable across resizes — the data span itself is re-read at post time.

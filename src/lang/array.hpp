@@ -191,6 +191,15 @@ struct Binding {
   /// Migrate bindings: the destination-ranks container, so the
   /// hand-declared-vs-inferred agreement check catches a drifted .to().
   const void* migrate_dest = nullptr;
+
+  /// Attach a diagnostic name to a raw-container binding — Array-backed
+  /// bindings already carry the registered name. Error messages, traffic
+  /// attribution, and verify::Analyzer subjects all use it:
+  ///   in(pos).via(h).named("pos"), use(cells).named("cells").
+  Binding&& named(std::string n) && {
+    name = std::move(n);
+    return std::move(*this);
+  }
 };
 
 namespace detail {

@@ -95,6 +95,10 @@ struct Report;
 struct ServiceState;
 }  // namespace balance
 
+namespace verify {
+struct Diagnostic;
+}  // namespace verify
+
 class Runtime {
  public:
   // Both out of line (balance/service.cpp): the ctor/dtor must see the
@@ -554,6 +558,15 @@ class Runtime {
 
   /// The installed policy (null when none).
   balance::Policy* balance_policy();
+
+  // ---- static verification (src/verify/, defined in analyzer.cpp) ------
+
+  /// Run the verify::Analyzer rule pipeline over a declared graph and
+  /// return every finding (analysis only — nothing executes, nothing
+  /// communicates; see docs/API.md "Static verification"). Equivalent to
+  /// verify::Analyzer().analyze(graph); StepGraph::set_strict(true) runs
+  /// the same pipeline at arm time and refuses on error findings.
+  std::vector<verify::Diagnostic> verify(StepGraph& graph);
 
   /// The distribution currently bound to the service (moves to each
   /// successor epoch as rebalances fire).

@@ -1,8 +1,9 @@
 #include "runtime/step_graph.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <tuple>
+
+#include "verify/analyzer.hpp"
 
 namespace chaos {
 
@@ -96,9 +97,7 @@ std::string Step::render_accesses(
       for (const LocalAccess& l : *list)
         if (!l.name.empty() && l.decl.array == array) return l.name;
     }
-    std::ostringstream os;
-    os << array;
-    return os.str();
+    return verify::array_subject({}, array);
   };
   std::vector<std::string> parts;
   for (const CommAccess& a : comm) {
@@ -202,6 +201,76 @@ Step* StepGraph::find(std::string_view name) {
   return nullptr;
 }
 
+Step& StepGraph::at(std::size_t i) {
+  if (i >= steps_.size()) {
+    std::string names;
+    for (const Step& s : steps_) {
+      if (!names.empty()) names += ", ";
+      names += "'" + s.name_ + "'";
+    }
+    throw Error("step graph: index " + std::to_string(i) +
+                " is out of range — the graph declares " +
+                std::to_string(steps_.size()) + " step(s)" +
+                (names.empty() ? "" : ": " + names));
+  }
+  return steps_[i];
+}
+
+namespace {
+
+Step::AccessInfo access_info(const lang::AccessDecl& decl,
+                             ScheduleHandle via, const std::string& name,
+                             bool zeroes,
+                             const std::function<std::uint64_t()>& probe,
+                             std::uint64_t expected) {
+  Step::AccessInfo info;
+  info.decl = decl;
+  info.via = via;
+  info.name = name;
+  info.zeroes_ghosts = zeroes;
+  info.guarded = static_cast<bool>(probe);
+  info.stale = probe && probe() != expected;
+  return info;
+}
+
+}  // namespace
+
+std::vector<Step::AccessInfo> Step::declared_gathers() const {
+  CHAOS_CHECK(resolved_,
+              "step '" + name_ +
+                  "': access introspection before the view/hand sets were "
+                  "folded — call StepGraph::resolve_for_analysis() first");
+  std::vector<AccessInfo> out;
+  for (const CommAccess& a : gathers_)
+    out.push_back(access_info(a.decl, a.via, a.name, a.zeroes_ghosts,
+                              a.revision, a.expected_revision));
+  return out;
+}
+
+std::vector<Step::AccessInfo> Step::declared_writes() const {
+  CHAOS_CHECK(resolved_,
+              "step '" + name_ +
+                  "': access introspection before the view/hand sets were "
+                  "folded — call StepGraph::resolve_for_analysis() first");
+  std::vector<AccessInfo> out;
+  for (const CommAccess& a : writes_)
+    out.push_back(access_info(a.decl, a.via, a.name, a.zeroes_ghosts,
+                              a.revision, a.expected_revision));
+  return out;
+}
+
+std::vector<Step::AccessInfo> Step::declared_locals() const {
+  CHAOS_CHECK(resolved_,
+              "step '" + name_ +
+                  "': access introspection before the view/hand sets were "
+                  "folded — call StepGraph::resolve_for_analysis() first");
+  std::vector<AccessInfo> out;
+  for (const LocalAccess& l : locals_)
+    out.push_back(access_info(l.decl, ScheduleHandle{}, l.name, false,
+                              l.revision, l.expected_revision));
+  return out;
+}
+
 std::vector<const void*> StepGraph::gather_touch(const Step& s) const {
   std::vector<const void*> arrays;
   for (const Step::CommAccess& g : s.gathers_) arrays.push_back(g.decl.array);
@@ -249,32 +318,41 @@ bool StepGraph::pending_write_touching(
 }
 
 void StepGraph::check_bindings() const {
+  // Every refusal names its subjects — step AND array — through the same
+  // formatting the static analyzer uses (verify::subject), never a bare
+  // index or an anonymous "a schedule".
   const auto check_revision = [](const std::string& step,
-                                 const std::string& array,
-                                 const std::function<std::uint64_t()>& probe,
-                                 std::uint64_t expected) {
+                                 const Step::CommAccess* comm,
+                                 const Step::LocalAccess* local) {
+    const auto& probe = comm ? comm->revision : local->revision;
     if (!probe) return;
+    const std::uint64_t expected =
+        comm ? comm->expected_revision : local->expected_revision;
+    const std::string& name = comm ? comm->name : local->name;
+    const void* addr = comm ? comm->decl.array : local->decl.array;
     CHAOS_CHECK(probe() == expected,
-                "step graph: step '" + step + "' is bound to array '" +
-                    array +
-                    "', which was retargeted onto another epoch after the "
+                "step graph: " + verify::subject(step, name, addr) +
+                    " was retargeted onto another epoch after the "
                     "binding — retarget() the graph onto the new epoch's "
                     "schedules (arrays first, then the graph)");
   };
   for (const Step& s : steps_) {
     for (const auto* list : {&s.gathers_, &s.writes_}) {
       for (const Step::CommAccess& a : *list) {
-        check_revision(s.name_, a.name, a.revision, a.expected_revision);
+        check_revision(s.name_, &a, nullptr);
         if (a.decl.kind == lang::AccessKind::kMigrate) continue;
-        CHAOS_CHECK(rt_.valid(a.via),
-                    "step graph: step '" + s.name_ +
-                        "' declares a schedule that is no longer valid "
-                        "(retired epoch or stale derivation) — call "
-                        "retarget() after a repartition/re-derivation");
+        CHAOS_CHECK(
+            rt_.valid(a.via),
+            "step graph: " +
+                verify::subject(s.name_, a.name, a.decl.array) +
+                ": schedule s" + std::to_string(a.via.id) +
+                " is no longer valid (retired epoch or stale "
+                "derivation) — call retarget() after a repartition/"
+                "re-derivation");
       }
     }
     for (const Step::LocalAccess& l : s.locals_)
-      check_revision(s.name_, l.name, l.revision, l.expected_revision);
+      check_revision(s.name_, nullptr, &l);
   }
 }
 
@@ -558,6 +636,7 @@ std::size_t StepGraph::footprint_bytes() const {
     n += s.chunk_colors_.capacity() * sizeof(int);
   }
   if (pool_) n += sizeof(runtime::TaskPool);
+  n += verify::footprint_bytes(strict_diags_);
   return n;
 }
 
@@ -572,12 +651,35 @@ std::size_t StepGraph::release_chunk_plans() {
     s.chunk_plan_valid_ = false;
   }
   pool_.reset();
+  // Same capacity discipline for the cached strict-verification findings;
+  // a strict graph simply re-verifies at its next arm.
+  strict_diags_ = std::vector<verify::Diagnostic>();
+  strict_checked_ = false;
   return released;
+}
+
+void StepGraph::enforce_strict() {
+  if (strict_checked_) return;
+  verify::Analyzer analyzer;
+  std::vector<verify::Diagnostic> diags = analyzer.analyze(*this);
+  if (verify::has_errors(diags)) {
+    // Do NOT latch: a strict graph keeps refusing on every advance until
+    // the declarations are fixed (analysis is cheap next to execution).
+    std::string msg =
+        "strict step graph refused to arm: " +
+        std::to_string(verify::count(diags, verify::Severity::kError)) +
+        " error finding(s):\n" + verify::render(diags);
+    strict_diags_ = std::move(diags);
+    throw Error(std::move(msg));
+  }
+  strict_diags_ = std::move(diags);
+  strict_checked_ = true;
 }
 
 void StepGraph::advance(bool arm_next_iteration) {
   CHAOS_CHECK(!steps_.empty(), "step graph has no steps");
   for (Step& s : steps_) s.resolve();
+  if (strict_) enforce_strict();
   check_bindings();
   ++stats_.iterations;
   for (std::size_t k = 0; k < steps_.size(); ++k) {
@@ -643,6 +745,10 @@ void StepGraph::retarget(ScheduleHandle from, ScheduleHandle to) {
     for (Step::LocalAccess& l : s.locals_)
       if (l.revision) l.expected_revision = l.revision();
   }
+  // The successor epoch's schedules change what the static rules can see
+  // (recv partitions, validity); a strict graph re-verifies at its next
+  // arm.
+  strict_checked_ = false;
   ++stats_.retargets;
 }
 

@@ -66,6 +66,7 @@
 #include "lang/array.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/task_pool.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace chaos {
 
@@ -338,6 +339,28 @@ class Step {
   comm::Engine::Traffic gather_traffic() const { return gather_traffic_; }
   comm::Engine::Traffic write_traffic() const { return write_traffic_; }
 
+  // ---- static-analysis introspection (verify::Analyzer) ---------------
+
+  /// One declared access as the static analyzer sees it: the declaration
+  /// plus the view-carried metadata the rules key on. Snapshot semantics —
+  /// `stale` is evaluated at call time. Valid only after the view/hand
+  /// sets are folded (StepGraph::resolve_for_analysis or first advance).
+  struct AccessInfo {
+    lang::AccessDecl decl;
+    ScheduleHandle via{};
+    std::string_view name;    ///< registered array name ("" for raw vectors)
+    bool zeroes_ghosts = false;
+    bool guarded = false;     ///< carries an Array retarget-revision probe
+    bool stale = false;       ///< probe disagrees with the bound snapshot
+  };
+  std::vector<AccessInfo> declared_gathers() const;  ///< pre-compute comm
+  std::vector<AccessInfo> declared_writes() const;   ///< post-compute comm
+  std::vector<AccessInfo> declared_locals() const;   ///< uses/updates
+  bool chunked() const { return static_cast<bool>(chunk_fn_); }
+  /// 0 = chunks keyed by the gather schedules' recv blocks.
+  std::size_t fixed_chunk_count() const { return chunk_count_; }
+  bool claims_chunk_writes_disjoint() const { return chunk_disjoint_; }
+
  private:
   friend class StepGraph;
 
@@ -428,9 +451,21 @@ class StepGraph {
   Step* find(std::string_view name);
 
   std::size_t size() const { return steps_.size(); }
-  Step& at(std::size_t i) {
-    CHAOS_CHECK(i < steps_.size(), "step index out of range");
-    return steps_[i];
+  /// The i-th declared step; throws a chaos::Error naming the declared
+  /// steps when `i` is out of range.
+  Step& at(std::size_t i);
+  const Step& at(std::size_t i) const {
+    return const_cast<StepGraph*>(this)->at(i);
+  }
+
+  Runtime& runtime() const { return rt_; }
+
+  /// Fold every step's view bindings into its final access sets (and run
+  /// the hand-vs-view agreement check) without executing anything — the
+  /// entry point verify::Analyzer uses. Idempotent; advance() performs
+  /// the same fold on first execution.
+  void resolve_for_analysis() {
+    for (Step& s : steps_) s.resolve();
   }
 
   /// Pipelining switch. On (default): gathers are hoisted ahead of their
@@ -466,6 +501,22 @@ class StepGraph {
     pool_.reset();  // re-created at the new size on next use
   }
   int worker_threads() const { return worker_threads_; }
+
+  /// Strict mode: before the graph first arms (and again after every
+  /// retarget), run the verify::Analyzer rule pipeline over the declared
+  /// graph and refuse to execute — chaos::Error listing every finding —
+  /// if any error-severity finding exists. Warnings and notes are cached
+  /// (last_verification()) but do not block. Error rules are functions of
+  /// the declarations alone, so every rank reaches the same verdict and a
+  /// strict refusal cannot desynchronize the SPMD batch sequence.
+  void set_strict(bool on) { strict_ = on; }
+  bool strict() const { return strict_; }
+
+  /// Findings of the most recent strict verification (empty until one
+  /// ran; released by Runtime::compact / release_chunk_plans).
+  const std::vector<verify::Diagnostic>& last_verification() const {
+    return strict_diags_;
+  }
 
   /// Execute every step once, in declaration order. Leaves the pipeline
   /// hot: trailing writes (and next-iteration gathers) may still be in
@@ -548,6 +599,9 @@ class StepGraph {
   bool pending_write_touching(std::span<const void* const> arrays) const;
 
   void check_bindings() const;
+  /// Strict-mode gate: run the analyzer once per arming epoch; throw on
+  /// error findings (without latching, so every advance re-refuses).
+  void enforce_strict();
   /// Post gathers for every armable step at execution position `exec_pos`
   /// (index of the next compute to run; size() = end of iteration), in
   /// strict step order, stopping at the first hazard.
@@ -568,6 +622,10 @@ class StepGraph {
   Runtime& rt_;
   bool pipelining_ = true;
   bool arrival_driven_ = false;
+  bool strict_ = false;
+  /// Strict verification latches per arming epoch; retarget re-verifies.
+  bool strict_checked_ = false;
+  std::vector<verify::Diagnostic> strict_diags_;
   std::optional<EquivalenceTolerance> tolerance_;
   int worker_threads_ = 2;
   std::unique_ptr<runtime::TaskPool> pool_;

@@ -1,0 +1,85 @@
+#include "verify/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace chaos::verify {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string array_subject(std::string_view name, const void* addr) {
+  if (!name.empty()) return "'" + std::string(name) + "'";
+  if (!addr) return "<unnamed>";
+  std::ostringstream os;
+  os << "<unnamed @" << addr << ">";
+  return os.str();
+}
+
+std::string subject(std::string_view step_name, std::string_view array_name,
+                    const void* array_addr) {
+  std::string out;
+  if (!step_name.empty()) out += "step '" + std::string(step_name) + "'";
+  if (!array_name.empty() || array_addr) {
+    if (!out.empty()) out += " ";
+    out += "array " + array_subject(array_name, array_addr);
+  }
+  return out;
+}
+
+std::string render(const Diagnostic& d) {
+  std::string out = std::string(to_string(d.severity)) + "[" + d.rule + "]";
+  const std::string subj = subject(d.step, d.array);
+  if (!subj.empty()) out += " " + subj;
+  out += ": " + d.message;
+  if (!d.hint.empty()) out += " (hint: " + d.hint + ")";
+  return out;
+}
+
+std::string render(std::span<const Diagnostic> ds) {
+  // Most severe first; stable so same-severity findings keep rule order.
+  std::vector<const Diagnostic*> order;
+  order.reserve(ds.size());
+  for (const Diagnostic& d : ds) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  std::string out;
+  for (const Diagnostic* d : order) {
+    out += render(*d);
+    out += "\n";
+  }
+  return out;
+}
+
+bool has_errors(std::span<const Diagnostic> ds) {
+  return count(ds, Severity::kError) > 0;
+}
+
+std::size_t count(std::span<const Diagnostic> ds, Severity s) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : ds)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::size_t footprint_bytes(const std::vector<Diagnostic>& ds) {
+  std::size_t n = ds.capacity() * sizeof(Diagnostic);
+  for (const Diagnostic& d : ds)
+    n += d.rule.capacity() + d.step.capacity() + d.array.capacity() +
+         d.message.capacity() + d.hint.capacity();
+  return n;
+}
+
+}  // namespace chaos::verify
